@@ -1,0 +1,140 @@
+//! Noise injection for the §10 robustness study.
+//!
+//! The paper: *"We tried making them even more inaccurate, by dividing
+//! them by random noises (a median noise factor of 5x), and saw little
+//! impact on Balsa's plans."* [`NoisyEstimator`] wraps any estimator and
+//! divides each subset estimate by a log-normal noise factor whose median
+//! is configurable. Noise is deterministic per `(query, mask)` so the
+//! estimator stays a pure function.
+
+use crate::estimator::CardEstimator;
+use balsa_query::{Query, TableMask};
+
+/// Wraps an estimator, dividing its estimates by random noise factors.
+pub struct NoisyEstimator<E> {
+    inner: E,
+    /// Median of the noise factor distribution (paper uses ~5x).
+    median_factor: f64,
+    /// Log-space standard deviation of the noise.
+    sigma: f64,
+    seed: u64,
+}
+
+impl<E: CardEstimator> NoisyEstimator<E> {
+    /// Wraps `inner`, dividing estimates by `LogNormal(ln median, sigma)`
+    /// samples keyed on `(seed, query id, mask)`.
+    pub fn new(inner: E, median_factor: f64, sigma: f64, seed: u64) -> Self {
+        assert!(median_factor > 0.0);
+        Self {
+            inner,
+            median_factor,
+            sigma,
+            seed,
+        }
+    }
+
+    /// Deterministic standard-normal sample from a 64-bit key
+    /// (splitmix64 + Box-Muller).
+    fn std_normal(key: u64) -> f64 {
+        fn splitmix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+            x ^ (x >> 31)
+        }
+        let a = splitmix(key);
+        let b = splitmix(a);
+        // Uniform in (0, 1].
+        let u1 = ((a >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        let u2 = (b >> 11) as f64 / (1u64 << 53) as f64;
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn noise_factor(&self, query: &Query, mask: TableMask) -> f64 {
+        let key = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((query.id as u64) << 32)
+            .wrapping_add(mask.0 as u64);
+        let z = Self::std_normal(key);
+        (self.median_factor.ln() + self.sigma * z).exp()
+    }
+}
+
+impl<E: CardEstimator> CardEstimator for NoisyEstimator<E> {
+    fn cardinality(&self, query: &Query, mask: TableMask) -> f64 {
+        let base = self.inner.cardinality(query, mask);
+        (base / self.noise_factor(query, mask)).max(1e-6)
+    }
+
+    fn base_rows(&self, query: &Query, qt: usize) -> f64 {
+        self.inner.base_rows(query, qt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balsa_query::QueryTable;
+
+    /// A constant estimator for testing the wrapper in isolation.
+    struct Const(f64);
+    impl CardEstimator for Const {
+        fn cardinality(&self, _q: &Query, _m: TableMask) -> f64 {
+            self.0
+        }
+        fn base_rows(&self, _q: &Query, _qt: usize) -> f64 {
+            self.0
+        }
+    }
+
+    fn query(id: u32) -> Query {
+        Query {
+            id,
+            name: format!("q{id}"),
+            template: 0,
+            tables: vec![QueryTable {
+                table: 0,
+                alias: "a".into(),
+            }],
+            joins: vec![],
+            filters: vec![],
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let e = NoisyEstimator::new(Const(1000.0), 5.0, 1.0, 7);
+        let q = query(3);
+        let m = TableMask::single(0);
+        assert_eq!(e.cardinality(&q, m), e.cardinality(&q, m));
+    }
+
+    #[test]
+    fn noise_varies_across_queries_and_masks() {
+        let e = NoisyEstimator::new(Const(1000.0), 5.0, 1.0, 7);
+        let a = e.cardinality(&query(1), TableMask::single(0));
+        let b = e.cardinality(&query(2), TableMask::single(0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn median_noise_factor_approximately_holds() {
+        let e = NoisyEstimator::new(Const(1000.0), 5.0, 1.0, 11);
+        let mut factors: Vec<f64> = (0..2000u32)
+            .map(|i| 1000.0 / e.cardinality(&query(i), TableMask::single(0)))
+            .collect();
+        factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = factors[factors.len() / 2];
+        assert!(
+            (2.5..10.0).contains(&median),
+            "median noise factor {median}, expected ~5"
+        );
+    }
+
+    #[test]
+    fn base_rows_passthrough() {
+        let e = NoisyEstimator::new(Const(123.0), 5.0, 1.0, 7);
+        assert_eq!(e.base_rows(&query(0), 0), 123.0);
+    }
+}

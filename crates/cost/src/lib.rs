@@ -1,0 +1,46 @@
+//! # balsa-cost
+//!
+//! Cost models for balsa-rs.
+//!
+//! * [`CoutModel`] — the paper's **minimal simulator** (§3.1): the
+//!   `C_out` cost model of Cluet & Moerkotte, which sums estimated result
+//!   sizes over all operators and is deliberately blind to physical
+//!   operators ("fewer tuples lead to better plans").
+//! * [`CmmModel`] — the `C_mm` in-memory cost model of Leis et al. 2015,
+//!   mentioned in §3.3 as an alternative simulator with more physical
+//!   knowledge.
+//! * [`ExpertCostModel`] — a full physical cost model mirroring the
+//!   execution engine's per-operator work formulas
+//!   ([`physical::OpWeights`]). Driven by *estimated* cardinalities it
+//!   plays the role of PostgreSQL's own cost model (the "Expert
+//!   Simulator" ablation of §8.3.1 and the classical expert optimizer
+//!   baseline); driven by *true* cardinalities inside `balsa-engine` the
+//!   very same formulas define the ground-truth latency of a plan.
+//!
+//! All models implement [`CostModel`] and are parameterized by a
+//! [`balsa_card::CardEstimator`], so estimated/true/noisy cardinalities
+//! can be swapped freely (used by the §10 noise study).
+
+pub mod cmm;
+pub mod cout;
+pub mod expert;
+pub mod physical;
+
+pub use cmm::CmmModel;
+pub use cout::CoutModel;
+pub use expert::ExpertCostModel;
+pub use physical::{physical_cost, NodeCost, OpWeights};
+
+use balsa_card::CardEstimator;
+use balsa_query::{Plan, Query};
+
+/// A cost model scores a (query, plan) pair given a cardinality source.
+pub trait CostModel: Send + Sync {
+    /// Cost of executing `plan` for `query`. Lower is better. Units are
+    /// model-specific (tuples for `C_out`, abstract work for physical
+    /// models).
+    fn plan_cost(&self, query: &Query, plan: &Plan, est: &dyn CardEstimator) -> f64;
+
+    /// Human-readable model name (used in experiment reports).
+    fn name(&self) -> &'static str;
+}

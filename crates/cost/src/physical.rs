@@ -1,0 +1,434 @@
+//! Physical per-operator work formulas.
+//!
+//! These formulas are the single source of truth for "how much work does
+//! this physical operator do", shared by:
+//!
+//! * the **execution engine** (`balsa-engine`), which evaluates them on
+//!   *true* cardinalities to produce ground-truth latencies, and
+//! * the **expert cost model** ([`crate::ExpertCostModel`]), which
+//!   evaluates them on *estimated* cardinalities — exactly the classical
+//!   optimizer architecture (accurate model × inaccurate estimates).
+//!
+//! Work is measured in abstract tuple-operations; an engine profile
+//! converts work to seconds.
+
+use balsa_card::CardEstimator;
+use balsa_query::{JoinOp, Plan, Query, ScanOp, TableMask};
+use balsa_storage::Database;
+
+/// Per-operator work weights. Two presets model the two engines of the
+/// paper's evaluation (§8.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpWeights {
+    /// Per tuple scanned sequentially (includes filter evaluation).
+    pub seq_tuple: f64,
+    /// Fixed cost of descending an index (per lookup).
+    pub index_lookup: f64,
+    /// Per tuple fetched through an index.
+    pub index_tuple: f64,
+    /// Per tuple on the hash-join build side.
+    pub hash_build: f64,
+    /// Per tuple on the hash-join probe side.
+    pub hash_probe: f64,
+    /// Per input tuple consumed by a merge join.
+    pub merge_tuple: f64,
+    /// Per tuple × log2(n) when an input must be sorted for a merge join.
+    pub sort_tuple_log: f64,
+    /// Per (outer × inner) tuple pair for an unindexed nested-loop join.
+    pub nl_pair: f64,
+    /// Per outer tuple × log2(inner) for an index nested-loop join.
+    pub nl_index_outer: f64,
+    /// Per output tuple materialized by any join.
+    pub output_tuple: f64,
+}
+
+impl OpWeights {
+    /// PostgreSQL-flavoured weights: cheap index nested loops, moderate
+    /// hash joins, sorts hurt.
+    pub fn postgres_like() -> Self {
+        Self {
+            seq_tuple: 1.0,
+            index_lookup: 40.0,
+            index_tuple: 2.0,
+            hash_build: 1.6,
+            hash_probe: 1.0,
+            merge_tuple: 0.8,
+            sort_tuple_log: 0.25,
+            nl_pair: 0.25,
+            nl_index_outer: 0.35,
+            output_tuple: 0.3,
+        }
+    }
+
+    /// Commercial-engine-flavoured weights: highly optimized hash joins
+    /// and scans, relatively expensive nested loops — a different
+    /// operator-preference landscape for the agent to learn (§8.6).
+    pub fn commdb_like() -> Self {
+        Self {
+            seq_tuple: 0.55,
+            index_lookup: 60.0,
+            index_tuple: 2.5,
+            hash_build: 0.9,
+            hash_probe: 0.5,
+            merge_tuple: 0.6,
+            sort_tuple_log: 0.18,
+            nl_pair: 0.5,
+            nl_index_outer: 0.9,
+            output_tuple: 0.25,
+        }
+    }
+}
+
+/// Cost/cardinality report for one plan node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCost {
+    /// Tables covered by the node.
+    pub mask: TableMask,
+    /// Work performed by this node alone.
+    pub work: f64,
+    /// Output cardinality of the node.
+    pub out_rows: f64,
+}
+
+/// Result of recursively costing a subtree.
+struct SubtreeCost {
+    work: f64,
+    out_rows: f64,
+    /// `(qt, col)` pairs the output is sorted on (equivalence class of the
+    /// last order-producing operator), used to elide merge-join sorts.
+    sorted_on: Vec<(usize, usize)>,
+}
+
+/// Computes the physical cost of `plan`, appending per-node reports to
+/// `nodes` (pass `None` when only the total is needed).
+///
+/// Cardinalities come from `est`, which may be an estimator or the true
+/// oracle. Index availability comes from the catalog in `db`.
+pub fn physical_cost(
+    db: &Database,
+    query: &Query,
+    plan: &Plan,
+    est: &dyn CardEstimator,
+    w: &OpWeights,
+    mut nodes: Option<&mut Vec<NodeCost>>,
+) -> f64 {
+    fn rec(
+        db: &Database,
+        q: &Query,
+        p: &Plan,
+        est: &dyn CardEstimator,
+        w: &OpWeights,
+        nodes: &mut Option<&mut Vec<NodeCost>>,
+    ) -> SubtreeCost {
+        match p {
+            Plan::Scan { qt, op } => {
+                let qt = *qt as usize;
+                let tid = q.tables[qt].table;
+                let base = db.stats(tid).num_rows as f64;
+                let out = est.cardinality(q, TableMask::single(qt)).max(0.0);
+                let (work, sorted_on) = match op {
+                    ScanOp::Seq => (w.seq_tuple * base, Vec::new()),
+                    ScanOp::Index => {
+                        // An index scan drives through whichever index
+                        // serves the access (filter column or join key);
+                        // its output is ordered by that key. We expose the
+                        // full set of indexed columns as candidate orders;
+                        // the parent join picks the one it needs.
+                        let sorted: Vec<(usize, usize)> = db
+                            .catalog()
+                            .table(tid)
+                            .columns
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| c.indexed)
+                            .map(|(ci, _)| (qt, ci))
+                            .collect();
+                        let work =
+                            w.index_lookup * (base + 2.0).log2() + w.index_tuple * out;
+                        (work, sorted)
+                    }
+                };
+                if let Some(ns) = nodes.as_deref_mut() {
+                    ns.push(NodeCost {
+                        mask: TableMask::single(qt),
+                        work,
+                        out_rows: out,
+                    });
+                }
+                SubtreeCost {
+                    work,
+                    out_rows: out,
+                    sorted_on,
+                }
+            }
+            Plan::Join {
+                op,
+                left,
+                right,
+                mask,
+            } => {
+                let l = rec(db, q, left, est, w, nodes);
+                let r = rec(db, q, right, est, w, nodes);
+                let out = est.cardinality(q, *mask).max(0.0);
+                let edges = q.edges_between(left.mask(), right.mask());
+                let mut sorted_on = Vec::new();
+                let work = match op {
+                    JoinOp::Hash => {
+                        // Build on the right, probe from the left.
+                        w.hash_build * r.out_rows
+                            + w.hash_probe * l.out_rows
+                            + w.output_tuple * out
+                    }
+                    JoinOp::Merge => {
+                        // Sort either input unless it already streams in
+                        // the join key's order.
+                        let key_of = |side_mask: TableMask| -> Vec<(usize, usize)> {
+                            edges
+                                .iter()
+                                .map(|e| {
+                                    if side_mask.contains(e.left_qt) {
+                                        (e.left_qt, e.left_col)
+                                    } else {
+                                        (e.right_qt, e.right_col)
+                                    }
+                                })
+                                .collect()
+                        };
+                        let lkeys = key_of(left.mask());
+                        let rkeys = key_of(right.mask());
+                        let sort_cost = |rows: f64| {
+                            w.sort_tuple_log * rows * (rows + 2.0).log2()
+                        };
+                        let l_sorted = lkeys.iter().any(|k| l.sorted_on.contains(k));
+                        let r_sorted = rkeys.iter().any(|k| r.sorted_on.contains(k));
+                        let mut wk = w.merge_tuple * (l.out_rows + r.out_rows)
+                            + w.output_tuple * out;
+                        if !l_sorted {
+                            wk += sort_cost(l.out_rows);
+                        }
+                        if !r_sorted {
+                            wk += sort_cost(r.out_rows);
+                        }
+                        // Output is ordered on the merge keys.
+                        sorted_on.extend(lkeys);
+                        sorted_on.extend(rkeys);
+                        wk
+                    }
+                    JoinOp::NestLoop => {
+                        // Index nested loop when the inner (right) side is
+                        // a base *index* scan with an index on some join
+                        // column. A sequential inner forces re-scanning
+                        // the table per outer tuple — the quadratic case.
+                        let indexed_inner = match &**right {
+                            Plan::Scan {
+                                qt,
+                                op: ScanOp::Index,
+                            } => {
+                                let qt = *qt as usize;
+                                let tid = q.tables[qt].table;
+                                edges.iter().any(|e| {
+                                    let col = if e.right_qt == qt {
+                                        Some(e.right_col)
+                                    } else if e.left_qt == qt {
+                                        Some(e.left_col)
+                                    } else {
+                                        None
+                                    };
+                                    col.is_some_and(|c| db.catalog().is_indexed(tid, c))
+                                })
+                            }
+                            _ => false,
+                        };
+                        // NL preserves the outer (left) input's order.
+                        sorted_on = l.sorted_on.clone();
+                        if indexed_inner {
+                            let inner_base = match &**right {
+                                Plan::Scan { qt, .. } => {
+                                    db.stats(q.tables[*qt as usize].table).num_rows as f64
+                                }
+                                _ => r.out_rows,
+                            };
+                            w.nl_index_outer * l.out_rows * (inner_base + 2.0).log2()
+                                + w.index_tuple * out
+                                + w.output_tuple * out
+                        } else {
+                            // The disaster case: quadratic pairing.
+                            w.nl_pair * l.out_rows * r.out_rows + w.output_tuple * out
+                        }
+                    }
+                };
+                if let Some(ns) = nodes.as_deref_mut() {
+                    ns.push(NodeCost {
+                        mask: *mask,
+                        work,
+                        out_rows: out,
+                    });
+                }
+                SubtreeCost {
+                    work: l.work + r.work + work,
+                    out_rows: out,
+                    sorted_on,
+                }
+            }
+        }
+    }
+    rec(db, query, plan, est, w, &mut nodes).work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balsa_query::{JoinEdge, QueryTable};
+    use balsa_storage::{mini_imdb, DataGenConfig};
+
+    fn fixture() -> (Database, Query) {
+        let db = mini_imdb(DataGenConfig {
+            scale: 0.1,
+            ..Default::default()
+        });
+        let t = db.catalog().table_id("title").unwrap();
+        let mc = db.catalog().table_id("movie_companies").unwrap();
+        let movie_id = db.catalog().table(mc).column_id("movie_id").unwrap();
+        let q = Query {
+            id: 0,
+            name: "j".into(),
+            template: 0,
+            tables: vec![
+                QueryTable {
+                    table: t,
+                    alias: "t".into(),
+                },
+                QueryTable {
+                    table: mc,
+                    alias: "mc".into(),
+                },
+            ],
+            joins: vec![JoinEdge {
+                left_qt: 0,
+                left_col: 0,
+                right_qt: 1,
+                right_col: movie_id,
+            }],
+            filters: vec![],
+        };
+        (db, q)
+    }
+
+    fn est(db: &Database) -> balsa_card::HistogramEstimator<'_> {
+        balsa_card::HistogramEstimator::new(db)
+    }
+
+    #[test]
+    fn unindexed_nl_is_disastrous() {
+        let (db, q) = fixture();
+        let w = OpWeights::postgres_like();
+        let e = est(&db);
+        let hash = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Seq),
+        );
+        // Sequential inner: re-scan per outer tuple -> quadratic pairing.
+        let nl_bad = Plan::join(
+            JoinOp::NestLoop,
+            Plan::scan(1, ScanOp::Seq),
+            Plan::scan(0, ScanOp::Seq),
+        );
+        // Index scan on title.id (the PK the edge targets): index NL.
+        let nl_good = Plan::join(
+            JoinOp::NestLoop,
+            Plan::scan(1, ScanOp::Seq),
+            Plan::scan(0, ScanOp::Index),
+        );
+        let ch = physical_cost(&db, &q, &hash, &e, &w, None);
+        let cb = physical_cost(&db, &q, &nl_bad, &e, &w, None);
+        let cg = physical_cost(&db, &q, &nl_good, &e, &w, None);
+        assert!(ch > 0.0 && cb > 0.0 && cg > 0.0);
+        assert!(
+            cg * 10.0 < cb,
+            "index NL {cg} should be far below pair NL {cb}"
+        );
+        assert!(ch * 10.0 < cb, "hash {ch} should be far below pair NL {cb}");
+    }
+
+    #[test]
+    fn index_nl_requires_seq_vs_index_distinction() {
+        let (db, q) = fixture();
+        let w = OpWeights::postgres_like();
+        let e = est(&db);
+        // Right side = mc.movie_id (indexed FK): index scan enables cheap NL.
+        let nl_idx = Plan::join(
+            JoinOp::NestLoop,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Index),
+        );
+        let nl_seq = Plan::join(
+            JoinOp::NestLoop,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Seq),
+        );
+        let ci = physical_cost(&db, &q, &nl_idx, &e, &w, None);
+        let cs = physical_cost(&db, &q, &nl_seq, &e, &w, None);
+        // Only the index-scan inner qualifies as an index NL; the
+        // sequential inner pays the quadratic pairing cost.
+        let quad = w.nl_pair
+            * db.stats(q.tables[0].table).num_rows as f64
+            * db.stats(q.tables[1].table).num_rows as f64;
+        assert!(ci < quad / 4.0, "index NL {ci} vs quad {quad}");
+        assert!(cs >= quad, "seq NL {cs} should pay quadratic {quad}");
+    }
+
+    #[test]
+    fn merge_join_sort_elision_with_index_scans() {
+        let (db, q) = fixture();
+        let w = OpWeights::postgres_like();
+        let e = est(&db);
+        let merge_sorted = Plan::join(
+            JoinOp::Merge,
+            Plan::scan(0, ScanOp::Index),
+            Plan::scan(1, ScanOp::Index),
+        );
+        let merge_unsorted = Plan::join(
+            JoinOp::Merge,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Seq),
+        );
+        let cs = physical_cost(&db, &q, &merge_sorted, &e, &w, None);
+        let cu = physical_cost(&db, &q, &merge_unsorted, &e, &w, None);
+        assert!(
+            cs < cu,
+            "pre-sorted merge {cs} should beat sort-merge {cu}"
+        );
+    }
+
+    #[test]
+    fn per_node_reports_cover_all_nodes() {
+        let (db, q) = fixture();
+        let w = OpWeights::postgres_like();
+        let e = est(&db);
+        let p = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Seq),
+        );
+        let mut nodes = Vec::new();
+        let total = physical_cost(&db, &q, &p, &e, &w, Some(&mut nodes));
+        assert_eq!(nodes.len(), 3);
+        let sum: f64 = nodes.iter().map(|n| n.work).sum();
+        assert!((sum - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn engine_profiles_differ() {
+        let (db, q) = fixture();
+        let e = est(&db);
+        let p = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Seq),
+        );
+        let pg = physical_cost(&db, &q, &p, &e, &OpWeights::postgres_like(), None);
+        let cd = physical_cost(&db, &q, &p, &e, &OpWeights::commdb_like(), None);
+        assert_ne!(pg, cd);
+    }
+}

@@ -1,0 +1,395 @@
+//! Vectorized execution over row-id tuples.
+//!
+//! Intermediates are represented columnar: one `Vec<u32>` of base-table
+//! row ids per participating query-table. Joins are always *evaluated*
+//! as hash joins (build on the smaller input) regardless of the physical
+//! operator a plan requests — the physical operator only affects the
+//! *charged* work (see `balsa-cost::physical`). Multi-edge (cyclic) join
+//! conditions are enforced by post-filtering on the remaining edges.
+
+use balsa_query::{CmpOp, Predicate, Query, TableMask};
+use balsa_storage::{Database, NULL_SENTINEL};
+use std::collections::HashMap;
+
+/// Hard cap on materialized intermediate rows. Queries on the synthetic
+/// databases stay far below this; the cap guards against pathological
+/// cross-product-like blowups.
+pub const MAX_INTERMEDIATE_ROWS: usize = 50_000_000;
+
+/// Error raised when an intermediate exceeds [`MAX_INTERMEDIATE_ROWS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overflow;
+
+/// A materialized intermediate result: row-id tuples over `qts`.
+#[derive(Debug, Clone)]
+pub struct Intermediate {
+    /// Participating query-tables, ascending.
+    pub qts: Vec<u8>,
+    /// One column of base-table row ids per entry of `qts`.
+    pub cols: Vec<Vec<u32>>,
+}
+
+impl Intermediate {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cols.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Whether the intermediate has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mask of participating query-tables.
+    pub fn mask(&self) -> TableMask {
+        self.qts
+            .iter()
+            .fold(TableMask::EMPTY, |m, &qt| m.union(TableMask::single(qt as usize)))
+    }
+
+    /// Position of `qt` within this intermediate.
+    fn pos(&self, qt: usize) -> usize {
+        self.qts
+            .iter()
+            .position(|&x| x as usize == qt)
+            .expect("qt not in intermediate")
+    }
+
+    /// Approximate memory footprint in tuple slots (rows × columns).
+    pub fn slots(&self) -> usize {
+        self.len() * self.cols.len().max(1)
+    }
+}
+
+/// Evaluates a predicate against a value.
+#[inline]
+fn eval_pred(pred: &Predicate, v: i64) -> bool {
+    if v == NULL_SENTINEL {
+        // SQL semantics: predicates on NULL are not true.
+        return false;
+    }
+    match pred {
+        Predicate::Cmp(op, c) => match op {
+            CmpOp::Eq => v == *c,
+            CmpOp::Lt => v < *c,
+            CmpOp::Le => v <= *c,
+            CmpOp::Gt => v > *c,
+            CmpOp::Ge => v >= *c,
+        },
+        Predicate::Between(lo, hi) => v >= *lo && v <= *hi,
+        Predicate::InList(vs) => vs.contains(&v),
+    }
+}
+
+/// Scans one base table, applying all of the query's filters on it.
+pub fn scan_base(db: &Database, query: &Query, qt: usize) -> Intermediate {
+    let tid = query.tables[qt].table;
+    let table = db.table(tid);
+    let filters: Vec<_> = query.filters_on(qt).collect();
+    let mut ids: Vec<u32> = Vec::new();
+    'rows: for row in 0..table.num_rows() {
+        for f in &filters {
+            if !eval_pred(&f.pred, table.value(row, f.col)) {
+                continue 'rows;
+            }
+        }
+        ids.push(row as u32);
+    }
+    Intermediate {
+        qts: vec![qt as u8],
+        cols: vec![ids],
+    }
+}
+
+/// Hash-joins two intermediates on all query edges crossing them.
+///
+/// The first crossing edge is the hash key; remaining edges are verified
+/// per candidate pair. Build side is the smaller input.
+pub fn hash_join(
+    db: &Database,
+    query: &Query,
+    a: &Intermediate,
+    b: &Intermediate,
+) -> Result<Intermediate, Overflow> {
+    let edges = query.edges_between(a.mask(), b.mask());
+    assert!(!edges.is_empty(), "no join edge between inputs (cross product)");
+
+    // Normalize so `build` is the smaller side.
+    let (build, probe) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+
+    // Key extraction helpers: for an edge, which side holds which endpoint.
+    let key_cols = |side: &Intermediate| -> Vec<(usize, usize, usize)> {
+        // (column position in side, table id, column id) per edge
+        edges
+            .iter()
+            .map(|e| {
+                if side.mask().contains(e.left_qt) {
+                    (side.pos(e.left_qt), query.tables[e.left_qt].table, e.left_col)
+                } else {
+                    (
+                        side.pos(e.right_qt),
+                        query.tables[e.right_qt].table,
+                        e.right_col,
+                    )
+                }
+            })
+            .collect()
+    };
+    let build_keys = key_cols(build);
+    let probe_keys = key_cols(probe);
+
+    // Value of edge k for row r of a side.
+    #[inline]
+    fn key_val(
+        db: &Database,
+        side: &Intermediate,
+        keys: &[(usize, usize, usize)],
+        k: usize,
+        r: usize,
+    ) -> i64 {
+        let (pos, tid, col) = keys[k];
+        db.table(tid).column(col).get(side.cols[pos][r] as usize)
+    }
+
+    // Build a hash table on the first edge key.
+    let mut ht: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build.len());
+    for r in 0..build.len() {
+        let v = key_val(db, build, &build_keys, 0, r);
+        if v != NULL_SENTINEL {
+            ht.entry(v).or_default().push(r as u32);
+        }
+    }
+
+    let ncols = build.cols.len() + probe.cols.len();
+    let mut out_qts: Vec<u8> = build.qts.iter().chain(probe.qts.iter()).copied().collect();
+    let mut out_cols: Vec<Vec<u32>> = vec![Vec::new(); ncols];
+    let mut out_rows = 0usize;
+
+    for pr in 0..probe.len() {
+        let v = key_val(db, probe, &probe_keys, 0, pr);
+        if v == NULL_SENTINEL {
+            continue;
+        }
+        let Some(matches) = ht.get(&v) else { continue };
+        'cand: for &br in matches {
+            // Verify remaining edges.
+            for k in 1..edges.len() {
+                let bv = key_val(db, build, &build_keys, k, br as usize);
+                let pv = key_val(db, probe, &probe_keys, k, pr);
+                if bv == NULL_SENTINEL || bv != pv {
+                    continue 'cand;
+                }
+            }
+            out_rows += 1;
+            if out_rows > MAX_INTERMEDIATE_ROWS {
+                return Err(Overflow);
+            }
+            for (c, col) in build.cols.iter().enumerate() {
+                out_cols[c].push(col[br as usize]);
+            }
+            for (c, col) in probe.cols.iter().enumerate() {
+                out_cols[build.cols.len() + c].push(col[pr]);
+            }
+        }
+    }
+
+    // Keep qts sorted with columns aligned.
+    let mut order: Vec<usize> = (0..out_qts.len()).collect();
+    order.sort_by_key(|&i| out_qts[i]);
+    let out_qts_sorted: Vec<u8> = order.iter().map(|&i| out_qts[i]).collect();
+    let out_cols_sorted: Vec<Vec<u32>> = order
+        .iter()
+        .map(|&i| std::mem::take(&mut out_cols[i]))
+        .collect();
+    out_qts = out_qts_sorted;
+
+    Ok(Intermediate {
+        qts: out_qts,
+        cols: out_cols_sorted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balsa_query::{Filter, JoinEdge, QueryTable};
+    use balsa_storage::{mini_imdb, DataGenConfig};
+
+    fn db() -> Database {
+        mini_imdb(DataGenConfig {
+            scale: 0.05,
+            ..Default::default()
+        })
+    }
+
+    fn title_mc_query(db: &Database) -> Query {
+        let t = db.catalog().table_id("title").unwrap();
+        let mc = db.catalog().table_id("movie_companies").unwrap();
+        let movie_id = db.catalog().table(mc).column_id("movie_id").unwrap();
+        Query {
+            id: 0,
+            name: "q".into(),
+            template: 0,
+            tables: vec![
+                QueryTable {
+                    table: t,
+                    alias: "t".into(),
+                },
+                QueryTable {
+                    table: mc,
+                    alias: "mc".into(),
+                },
+            ],
+            joins: vec![JoinEdge {
+                left_qt: 0,
+                left_col: 0,
+                right_qt: 1,
+                right_col: movie_id,
+            }],
+            filters: vec![],
+        }
+    }
+
+    #[test]
+    fn scan_without_filters_returns_all_rows() {
+        let db = db();
+        let q = title_mc_query(&db);
+        let s = scan_base(&db, &q, 0);
+        assert_eq!(s.len(), db.table(q.tables[0].table).num_rows());
+    }
+
+    #[test]
+    fn scan_with_filter_matches_manual_count() {
+        let db = db();
+        let mut q = title_mc_query(&db);
+        let year = db
+            .catalog()
+            .table(q.tables[0].table)
+            .column_id("production_year")
+            .unwrap();
+        q.filters.push(Filter {
+            qt: 0,
+            col: year,
+            pred: Predicate::Between(2000, 2010),
+        });
+        let s = scan_base(&db, &q, 0);
+        let table = db.table(q.tables[0].table);
+        let expect = (0..table.num_rows())
+            .filter(|&r| (2000..=2010).contains(&table.value(r, year)))
+            .count();
+        assert_eq!(s.len(), expect);
+    }
+
+    #[test]
+    fn fk_join_matches_child_count() {
+        // Every movie_companies row joins exactly one title.
+        let db = db();
+        let q = title_mc_query(&db);
+        let a = scan_base(&db, &q, 0);
+        let b = scan_base(&db, &q, 1);
+        let j = hash_join(&db, &q, &a, &b).unwrap();
+        assert_eq!(j.len(), db.table(q.tables[1].table).num_rows());
+        assert_eq!(j.qts, vec![0, 1]);
+    }
+
+    #[test]
+    fn join_against_brute_force_on_tiny_data() {
+        let db = mini_imdb(DataGenConfig {
+            scale: 0.01,
+            ..Default::default()
+        });
+        let q = title_mc_query(&db);
+        let a = scan_base(&db, &q, 0);
+        let b = scan_base(&db, &q, 1);
+        let j = hash_join(&db, &q, &a, &b).unwrap();
+        // Brute force count.
+        let t = db.table(q.tables[0].table);
+        let mc = db.table(q.tables[1].table);
+        let movie_id = db
+            .catalog()
+            .table(q.tables[1].table)
+            .column_id("movie_id")
+            .unwrap();
+        let mut brute = 0;
+        for i in 0..t.num_rows() {
+            for k in 0..mc.num_rows() {
+                if t.value(i, 0) == mc.value(k, movie_id) {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(j.len(), brute);
+    }
+
+    #[test]
+    fn multi_edge_join_post_filters() {
+        // Self-referencing cycle: join movie_link to title on BOTH
+        // movie_id and linked_movie_id simultaneously -> only self-links.
+        let db = db();
+        let t = db.catalog().table_id("title").unwrap();
+        let ml = db.catalog().table_id("movie_link").unwrap();
+        let m_id = db.catalog().table(ml).column_id("movie_id").unwrap();
+        let lm_id = db.catalog().table(ml).column_id("linked_movie_id").unwrap();
+        let q = Query {
+            id: 0,
+            name: "cycle".into(),
+            template: 0,
+            tables: vec![
+                QueryTable {
+                    table: t,
+                    alias: "t".into(),
+                },
+                QueryTable {
+                    table: ml,
+                    alias: "ml".into(),
+                },
+            ],
+            joins: vec![
+                JoinEdge {
+                    left_qt: 0,
+                    left_col: 0,
+                    right_qt: 1,
+                    right_col: m_id,
+                },
+                JoinEdge {
+                    left_qt: 0,
+                    left_col: 0,
+                    right_qt: 1,
+                    right_col: lm_id,
+                },
+            ],
+            filters: vec![],
+        };
+        let a = scan_base(&db, &q, 0);
+        let b = scan_base(&db, &q, 1);
+        let j = hash_join(&db, &q, &a, &b).unwrap();
+        let tbl = db.table(ml);
+        let expect = (0..tbl.num_rows())
+            .filter(|&r| tbl.value(r, m_id) == tbl.value(r, lm_id))
+            .count();
+        assert_eq!(j.len(), expect);
+    }
+
+    #[test]
+    fn filtered_join_is_subset() {
+        let db = db();
+        let mut q = title_mc_query(&db);
+        let year = db
+            .catalog()
+            .table(q.tables[0].table)
+            .column_id("production_year")
+            .unwrap();
+        let a0 = scan_base(&db, &q, 0);
+        let b = scan_base(&db, &q, 1);
+        let full = hash_join(&db, &q, &a0, &b).unwrap();
+        q.filters.push(Filter {
+            qt: 0,
+            col: year,
+            pred: Predicate::Cmp(CmpOp::Ge, 2005),
+        });
+        let a1 = scan_base(&db, &q, 0);
+        let filtered = hash_join(&db, &q, &a1, &b).unwrap();
+        assert!(filtered.len() < full.len());
+        assert!(!filtered.is_empty());
+    }
+}

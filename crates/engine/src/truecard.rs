@@ -1,0 +1,309 @@
+//! The true-cardinality oracle.
+//!
+//! [`TrueCards`] computes the exact cardinality of any connected table
+//! subset of a query by actually executing joins ([`crate::exec`]).
+//! Cardinalities are memoized permanently; materialized intermediates are
+//! kept in a size-bounded LRU so repeated plan executions across RL
+//! iterations are nearly free (the role played by the plan/result caches
+//! and the Ray worker pool in the paper's §7).
+//!
+//! It implements [`CardEstimator`], so the engine's latency model and any
+//! cost model can run directly on ground truth.
+
+use crate::exec::{hash_join, scan_base, Intermediate, Overflow, MAX_INTERMEDIATE_ROWS};
+use balsa_card::CardEstimator;
+use balsa_query::{Query, TableMask};
+use balsa_storage::Database;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Budget (in row-id slots) for cached intermediates.
+const INTERMEDIATE_BUDGET_SLOTS: usize = 24_000_000;
+
+/// Key identifying a query within the oracle's caches. Uses the query id
+/// and an FNV hash of the name, so distinct workloads can share an oracle.
+fn query_key(q: &Query) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in q.name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^ ((q.id as u64) << 1)
+}
+
+struct CacheEntry {
+    inter: Arc<Intermediate>,
+    stamp: u64,
+}
+
+struct Caches {
+    cards: HashMap<(u64, TableMask), f64>,
+    inters: HashMap<(u64, TableMask), CacheEntry>,
+    slots_used: usize,
+    tick: u64,
+    /// Statistics: materializations performed (cache misses).
+    misses: u64,
+    hits: u64,
+}
+
+/// Ground-truth cardinalities via actual execution, with caching.
+pub struct TrueCards {
+    db: Arc<Database>,
+    caches: Mutex<Caches>,
+}
+
+impl TrueCards {
+    /// Creates an oracle over `db`.
+    pub fn new(db: Arc<Database>) -> Self {
+        Self {
+            db,
+            caches: Mutex::new(Caches {
+                cards: HashMap::new(),
+                inters: HashMap::new(),
+                slots_used: 0,
+                tick: 0,
+                misses: 0,
+                hits: 0,
+            }),
+        }
+    }
+
+    /// The database this oracle executes against.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// `(cache hits, materializations)` so far — used by efficiency tests.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.caches.lock();
+        (c.hits, c.misses)
+    }
+
+    /// True cardinality of the join of `mask` (filters applied).
+    ///
+    /// # Panics
+    /// Panics if `mask` is empty or induces a disconnected subgraph
+    /// (cross products are outside the search space).
+    pub fn true_card(&self, query: &Query, mask: TableMask) -> u64 {
+        assert!(!mask.is_empty(), "empty mask");
+        let qk = query_key(query);
+        if let Some(&c) = self.caches.lock().cards.get(&(qk, mask)) {
+            return c as u64;
+        }
+        match self.materialize(query, qk, mask) {
+            Ok(inter) => inter.len() as u64,
+            // Overflowed intermediates are treated as "huge": the exact
+            // value beyond the cap does not change any planning decision.
+            Err(Overflow) => MAX_INTERMEDIATE_ROWS as u64,
+        }
+    }
+
+    /// Materializes (or fetches) the intermediate for `mask`.
+    fn materialize(
+        &self,
+        query: &Query,
+        qk: u64,
+        mask: TableMask,
+    ) -> Result<Arc<Intermediate>, Overflow> {
+        {
+            let mut c = self.caches.lock();
+            c.tick += 1;
+            let tick = c.tick;
+            if let Some(e) = c.inters.get_mut(&(qk, mask)) {
+                e.stamp = tick;
+                let inter = e.inter.clone();
+                c.hits += 1;
+                return Ok(inter);
+            }
+            c.misses += 1;
+        }
+
+        let inter = if mask.count() == 1 {
+            let qt = mask.iter().next().expect("non-empty");
+            Arc::new(scan_base(&self.db, query, qt))
+        } else {
+            // Decompose mask = rest + {t}: prefer a t whose `rest` is both
+            // connected and already cached; otherwise any connected split.
+            let mut choice: Option<(usize, bool)> = None;
+            {
+                let c = self.caches.lock();
+                for t in mask.iter() {
+                    let rest = TableMask(mask.0 & !(1u32 << t));
+                    if !query.subgraph_connected(rest) {
+                        continue;
+                    }
+                    // The removed table must connect to the rest.
+                    if !query.connected(rest, TableMask::single(t)) {
+                        continue;
+                    }
+                    let cached = c.inters.contains_key(&(qk, rest));
+                    match choice {
+                        Some((_, true)) => {}
+                        _ => {
+                            if cached || choice.is_none() {
+                                choice = Some((t, cached));
+                            }
+                        }
+                    }
+                    if cached {
+                        break;
+                    }
+                }
+            }
+            let (t, _) = choice.unwrap_or_else(|| {
+                panic!(
+                    "mask {:b} of {} has no connected decomposition",
+                    mask.0, query.name
+                )
+            });
+            let rest = TableMask(mask.0 & !(1u32 << t));
+            let left = self.materialize(query, qk, rest)?;
+            let right = self.materialize(query, qk, TableMask::single(t))?;
+            Arc::new(hash_join(&self.db, query, &left, &right)?)
+        };
+
+        let mut c = self.caches.lock();
+        c.cards.insert((qk, mask), inter.len() as f64);
+        let slots = inter.slots();
+        c.slots_used += slots;
+        let tick = c.tick;
+        c.inters.insert(
+            (qk, mask),
+            CacheEntry {
+                inter: inter.clone(),
+                stamp: tick,
+            },
+        );
+        // Evict least-recently-used intermediates over budget (never the
+        // one just inserted).
+        while c.slots_used > INTERMEDIATE_BUDGET_SLOTS && c.inters.len() > 1 {
+            let victim = c
+                .inters
+                .iter()
+                .filter(|(k, _)| **k != (qk, mask))
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some(e) = c.inters.remove(&k) {
+                        c.slots_used -= e.inter.slots();
+                    }
+                }
+                None => break,
+            }
+        }
+        Ok(inter)
+    }
+}
+
+impl CardEstimator for TrueCards {
+    fn cardinality(&self, query: &Query, mask: TableMask) -> f64 {
+        (self.true_card(query, mask) as f64).max(1e-6)
+    }
+
+    fn base_rows(&self, query: &Query, qt: usize) -> f64 {
+        self.db.stats(query.tables[qt].table).num_rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balsa_query::workloads::job_workload;
+    use balsa_storage::{mini_imdb, DataGenConfig};
+
+    fn fixture() -> (Arc<Database>, balsa_query::Workload) {
+        let db = Arc::new(mini_imdb(DataGenConfig {
+            scale: 0.05,
+            ..Default::default()
+        }));
+        let w = job_workload(db.catalog(), 7);
+        (db, w)
+    }
+
+    #[test]
+    fn full_query_cardinalities_are_finite() {
+        let (db, w) = fixture();
+        let oracle = TrueCards::new(db);
+        for q in w.queries.iter().take(8) {
+            let c = oracle.true_card(q, q.all_mask());
+            assert!(c < MAX_INTERMEDIATE_ROWS as u64, "{} blew up", q.name);
+        }
+    }
+
+    #[test]
+    fn cardinality_is_monotone_under_join_with_pk() {
+        // Joining a fact table to a PK dimension cannot increase rows
+        // beyond the fact side (each FK matches at most one PK).
+        let (db, w) = fixture();
+        let oracle = TrueCards::new(db.clone());
+        let q = &w.queries[0]; // template 1: t, mc, cn, ct, kt star
+        // mask {t, mc}: every mc row matches exactly one title.
+        let t = q.qt_by_alias("t").unwrap();
+        let mc = q.qt_by_alias("mc").unwrap();
+        let both = TableMask::single(t).union(TableMask::single(mc));
+        let c_mc = oracle.true_card(q, TableMask::single(mc));
+        let c_join = oracle.true_card(q, both);
+        assert!(c_join <= c_mc, "join {c_join} > mc {c_mc}");
+    }
+
+    #[test]
+    fn caching_avoids_recomputation() {
+        let (db, w) = fixture();
+        let oracle = TrueCards::new(db);
+        let q = &w.queries[10];
+        let m = q.all_mask();
+        let c1 = oracle.true_card(q, m);
+        let (_, misses1) = oracle.cache_stats();
+        let c2 = oracle.true_card(q, m);
+        let (_, misses2) = oracle.cache_stats();
+        assert_eq!(c1, c2);
+        assert_eq!(misses1, misses2, "second call must be fully cached");
+    }
+
+    #[test]
+    fn subset_cardinalities_consistent_with_exec() {
+        use crate::exec::{hash_join, scan_base};
+        let (db, w) = fixture();
+        let oracle = TrueCards::new(db.clone());
+        let q = &w.queries[0];
+        let t = q.qt_by_alias("t").unwrap();
+        let mc = q.qt_by_alias("mc").unwrap();
+        let a = scan_base(&db, q, t);
+        let b = scan_base(&db, q, mc);
+        let j = hash_join(&db, q, &a, &b).unwrap();
+        let mask = TableMask::single(t).union(TableMask::single(mc));
+        assert_eq!(oracle.true_card(q, mask), j.len() as u64);
+    }
+
+    #[test]
+    fn distinct_queries_do_not_collide() {
+        let (db, w) = fixture();
+        let oracle = TrueCards::new(db);
+        // Variants of one template share structure but differ in filters;
+        // their cardinalities must be tracked separately.
+        let groups = w.by_template();
+        let (_, idxs) = &groups[0];
+        let c0 = oracle.true_card(&w.queries[idxs[0]], w.queries[idxs[0]].all_mask());
+        let c1 = oracle.true_card(&w.queries[idxs[1]], w.queries[idxs[1]].all_mask());
+        // (They could coincide by chance; check the cache keys differ via
+        // a second read of both.)
+        assert_eq!(
+            c0,
+            oracle.true_card(&w.queries[idxs[0]], w.queries[idxs[0]].all_mask())
+        );
+        assert_eq!(
+            c1,
+            oracle.true_card(&w.queries[idxs[1]], w.queries[idxs[1]].all_mask())
+        );
+    }
+
+    #[test]
+    fn estimator_trait_impl() {
+        let (db, w) = fixture();
+        let oracle = TrueCards::new(db);
+        let q = &w.queries[0];
+        let s = oracle.selectivity(q, 0);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,371 @@
+//! Physical plan trees.
+//!
+//! The search space matches §7 of the paper: binary join trees over the
+//! query's table references, with physical join operators
+//! {hash, merge, nested-loop} and scan operators {sequential, index}.
+//! Plans are immutable and shared via `Arc`, so beam-search states can
+//! hold thousands of partial plans cheaply.
+
+use crate::ir::TableMask;
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Physical scan operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanOp {
+    /// Full sequential scan.
+    Seq,
+    /// Index scan (only meaningful when an index serves the access).
+    Index,
+}
+
+/// Physical join operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinOp {
+    /// Hash join (build on the right input).
+    Hash,
+    /// Sort-merge join.
+    Merge,
+    /// Nested-loop join (uses the right side's index when available).
+    NestLoop,
+}
+
+impl JoinOp {
+    /// All join operators, in a fixed order used by featurization.
+    pub const ALL: [JoinOp; 3] = [JoinOp::Hash, JoinOp::Merge, JoinOp::NestLoop];
+}
+
+impl ScanOp {
+    /// All scan operators, in a fixed order used by featurization.
+    pub const ALL: [ScanOp; 2] = [ScanOp::Seq, ScanOp::Index];
+}
+
+/// Gross shape of a complete plan (Fig 18 reports these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanShape {
+    /// Every join's right input is a base table.
+    LeftDeep,
+    /// Every join's left input is a base table.
+    RightDeep,
+    /// Anything else.
+    Bushy,
+}
+
+/// A physical plan node (scan leaf or binary join).
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub enum Plan {
+    /// Leaf: scan of one query-table.
+    Scan {
+        /// Index into the query's table list.
+        qt: u8,
+        /// Physical scan operator.
+        op: ScanOp,
+    },
+    /// Inner node: binary join.
+    Join {
+        /// Physical join operator.
+        op: JoinOp,
+        /// Left (outer / probe) input.
+        left: Arc<Plan>,
+        /// Right (inner / build) input.
+        right: Arc<Plan>,
+        /// Cached union of input masks.
+        mask: TableMask,
+    },
+}
+
+impl Plan {
+    /// Creates a scan leaf.
+    pub fn scan(qt: usize, op: ScanOp) -> Arc<Plan> {
+        Arc::new(Plan::Scan { qt: qt as u8, op })
+    }
+
+    /// Creates a join node over two disjoint subplans.
+    ///
+    /// # Panics
+    /// Panics (debug) if the input masks overlap.
+    pub fn join(op: JoinOp, left: Arc<Plan>, right: Arc<Plan>) -> Arc<Plan> {
+        let mask = left.mask().union(right.mask());
+        debug_assert!(
+            left.mask().disjoint(right.mask()),
+            "joining overlapping subplans"
+        );
+        Arc::new(Plan::Join {
+            op,
+            left,
+            right,
+            mask,
+        })
+    }
+
+    /// Set of tables covered by this plan.
+    pub fn mask(&self) -> TableMask {
+        match self {
+            Plan::Scan { qt, .. } => TableMask::single(*qt as usize),
+            Plan::Join { mask, .. } => *mask,
+        }
+    }
+
+    /// Number of tables joined.
+    pub fn num_tables(&self) -> u32 {
+        self.mask().count()
+    }
+
+    /// Number of join nodes.
+    pub fn num_joins(&self) -> u32 {
+        self.num_tables().saturating_sub(1)
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_scan(&self) -> bool {
+        matches!(self, Plan::Scan { .. })
+    }
+
+    /// Visits every node (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Plan)) {
+        f(self);
+        if let Plan::Join { left, right, .. } = self {
+            left.visit(f);
+            right.visit(f);
+        }
+    }
+
+    /// Collects all subtrees (including leaves and the root), as used by
+    /// the data-augmentation procedure of §3.2 ("each subplan T' of T").
+    pub fn subplans(self: &Arc<Plan>) -> Vec<Arc<Plan>> {
+        let mut out = Vec::new();
+        fn rec(p: &Arc<Plan>, out: &mut Vec<Arc<Plan>>) {
+            out.push(p.clone());
+            if let Plan::Join { left, right, .. } = &**p {
+                rec(left, out);
+                rec(right, out);
+            }
+        }
+        rec(self, &mut out);
+        out
+    }
+
+    /// Join subtrees only (no scan leaves).
+    pub fn join_subplans(self: &Arc<Plan>) -> Vec<Arc<Plan>> {
+        self.subplans().into_iter().filter(|p| !p.is_scan()).collect()
+    }
+
+    /// The plan's gross shape.
+    pub fn shape(&self) -> PlanShape {
+        fn all_right_leaves(p: &Plan) -> bool {
+            match p {
+                Plan::Scan { .. } => true,
+                Plan::Join { left, right, .. } => right.is_scan() && all_right_leaves(left),
+            }
+        }
+        fn all_left_leaves(p: &Plan) -> bool {
+            match p {
+                Plan::Scan { .. } => true,
+                Plan::Join { left, right, .. } => left.is_scan() && all_left_leaves(right),
+            }
+        }
+        if all_right_leaves(self) {
+            PlanShape::LeftDeep
+        } else if all_left_leaves(self) {
+            PlanShape::RightDeep
+        } else {
+            PlanShape::Bushy
+        }
+    }
+
+    /// Whether the plan is left-deep (the only hint shape CommDbSim
+    /// accepts, §8.2).
+    pub fn is_left_deep(&self) -> bool {
+        self.shape() == PlanShape::LeftDeep
+    }
+
+    /// Counts join operators by kind: `(hash, merge, nest_loop)`.
+    pub fn join_op_counts(&self) -> (u32, u32, u32) {
+        let mut h = 0;
+        let mut m = 0;
+        let mut n = 0;
+        self.visit(&mut |p| {
+            if let Plan::Join { op, .. } = p {
+                match op {
+                    JoinOp::Hash => h += 1,
+                    JoinOp::Merge => m += 1,
+                    JoinOp::NestLoop => n += 1,
+                }
+            }
+        });
+        (h, m, n)
+    }
+
+    /// A stable 64-bit structural fingerprint (FNV-1a over a canonical
+    /// encoding). Used for plan caches, visit counts (§5), and experience
+    /// dedup. Stable across runs and Rust versions.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        fn mix(h: u64, b: u8) -> u64 {
+            (h ^ b as u64).wrapping_mul(PRIME)
+        }
+        fn rec(p: &Plan, mut h: u64) -> u64 {
+            match p {
+                Plan::Scan { qt, op } => {
+                    h = mix(h, 0x01);
+                    h = mix(h, *qt);
+                    h = mix(h, matches!(op, ScanOp::Index) as u8);
+                    h
+                }
+                Plan::Join {
+                    op, left, right, ..
+                } => {
+                    h = mix(h, 0x02);
+                    h = mix(
+                        h,
+                        match op {
+                            JoinOp::Hash => 0,
+                            JoinOp::Merge => 1,
+                            JoinOp::NestLoop => 2,
+                        },
+                    );
+                    h = rec(left, h);
+                    h = mix(h, 0x03);
+                    rec(right, h)
+                }
+            }
+        }
+        rec(self, OFFSET)
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Scan { qt, op } => {
+                let tag = match op {
+                    ScanOp::Seq => "Seq",
+                    ScanOp::Index => "Idx",
+                };
+                write!(f, "{tag}({qt})")
+            }
+            Plan::Join {
+                op, left, right, ..
+            } => {
+                let tag = match op {
+                    JoinOp::Hash => "HJ",
+                    JoinOp::Merge => "MJ",
+                    JoinOp::NestLoop => "NL",
+                };
+                write!(f, "{tag}[{left}, {right}]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left_deep_3() -> Arc<Plan> {
+        let a = Plan::scan(0, ScanOp::Seq);
+        let b = Plan::scan(1, ScanOp::Index);
+        let c = Plan::scan(2, ScanOp::Seq);
+        Plan::join(JoinOp::Hash, Plan::join(JoinOp::NestLoop, a, b), c)
+    }
+
+    fn bushy_4() -> Arc<Plan> {
+        let ab = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Seq),
+        );
+        let cd = Plan::join(
+            JoinOp::Merge,
+            Plan::scan(2, ScanOp::Seq),
+            Plan::scan(3, ScanOp::Seq),
+        );
+        Plan::join(JoinOp::Hash, ab, cd)
+    }
+
+    #[test]
+    fn masks_and_counts() {
+        let p = left_deep_3();
+        assert_eq!(p.mask(), TableMask(0b111));
+        assert_eq!(p.num_tables(), 3);
+        assert_eq!(p.num_joins(), 2);
+        assert_eq!(p.join_op_counts(), (1, 0, 1));
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(left_deep_3().shape(), PlanShape::LeftDeep);
+        assert_eq!(bushy_4().shape(), PlanShape::Bushy);
+        let right_deep = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::join(
+                JoinOp::Hash,
+                Plan::scan(1, ScanOp::Seq),
+                Plan::scan(2, ScanOp::Seq),
+            ),
+        );
+        assert_eq!(right_deep.shape(), PlanShape::RightDeep);
+        assert!(left_deep_3().is_left_deep());
+        assert!(!bushy_4().is_left_deep());
+        // A single scan counts as left-deep.
+        assert_eq!(Plan::scan(0, ScanOp::Seq).shape(), PlanShape::LeftDeep);
+    }
+
+    #[test]
+    fn subplans_enumeration() {
+        let p = bushy_4();
+        let subs = p.subplans();
+        assert_eq!(subs.len(), 7); // 4 leaves + 3 joins
+        assert_eq!(p.join_subplans().len(), 3);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_structure() {
+        let p1 = left_deep_3();
+        let p2 = left_deep_3();
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        assert_ne!(p1.fingerprint(), bushy_4().fingerprint());
+        // Operator changes alter the fingerprint.
+        let alt = Plan::join(
+            JoinOp::Merge,
+            Plan::join(
+                JoinOp::NestLoop,
+                Plan::scan(0, ScanOp::Seq),
+                Plan::scan(1, ScanOp::Index),
+            ),
+            Plan::scan(2, ScanOp::Seq),
+        );
+        assert_ne!(p1.fingerprint(), alt.fingerprint());
+        // Child order matters (left/right are physical roles).
+        let swapped = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(2, ScanOp::Seq),
+            Plan::join(
+                JoinOp::NestLoop,
+                Plan::scan(0, ScanOp::Seq),
+                Plan::scan(1, ScanOp::Index),
+            ),
+        );
+        assert_ne!(p1.fingerprint(), swapped.fingerprint());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            left_deep_3().to_string(),
+            "HJ[NL[Seq(0), Idx(1)], Seq(2)]"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    #[cfg(debug_assertions)]
+    fn overlapping_join_panics() {
+        let a = Plan::scan(0, ScanOp::Seq);
+        let b = Plan::scan(0, ScanOp::Seq);
+        let _ = Plan::join(JoinOp::Hash, a, b);
+    }
+}

@@ -1,0 +1,177 @@
+//! SQL-ish pretty-printing of queries and plan hints, for examples,
+//! logging, and debugging. (The engine consumes the IR directly; this
+//! module is presentation only.)
+
+use crate::ir::{CmpOp, Predicate, Query};
+use balsa_storage::Catalog;
+use std::fmt::Write;
+
+/// Renders a query as readable SQL text.
+pub fn to_sql(q: &Query, catalog: &Catalog) -> String {
+    let mut s = String::new();
+    s.push_str("SELECT COUNT(*)\nFROM ");
+    let froms: Vec<String> = q
+        .tables
+        .iter()
+        .map(|t| format!("{} AS {}", catalog.table(t.table).name, t.alias))
+        .collect();
+    s.push_str(&froms.join(",\n     "));
+    s.push_str("\nWHERE ");
+    let mut conds = Vec::new();
+    for e in &q.joins {
+        let lt = &q.tables[e.left_qt];
+        let rt = &q.tables[e.right_qt];
+        conds.push(format!(
+            "{}.{} = {}.{}",
+            lt.alias,
+            catalog.table(lt.table).columns[e.left_col].name,
+            rt.alias,
+            catalog.table(rt.table).columns[e.right_col].name
+        ));
+    }
+    for f in &q.filters {
+        let t = &q.tables[f.qt];
+        let col = format!(
+            "{}.{}",
+            t.alias,
+            catalog.table(t.table).columns[f.col].name
+        );
+        let cond = match &f.pred {
+            Predicate::Cmp(op, v) => {
+                let sym = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                format!("{col} {sym} {v}")
+            }
+            Predicate::Between(lo, hi) => format!("{col} BETWEEN {lo} AND {hi}"),
+            Predicate::InList(vs) => {
+                let items: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                format!("{col} IN ({})", items.join(", "))
+            }
+        };
+        conds.push(cond);
+    }
+    let _ = write!(s, "{};", conds.join("\n  AND "));
+    s
+}
+
+/// Renders a plan as a pg_hint_plan-style hint comment, using the
+/// query's aliases (the mechanism the paper uses to inject plans, §8.1).
+pub fn to_hint(plan: &crate::plan::Plan, q: &Query) -> String {
+    use crate::plan::{JoinOp, Plan, ScanOp};
+    fn leading(p: &Plan, q: &Query, out: &mut String) {
+        match p {
+            Plan::Scan { qt, .. } => out.push_str(&q.tables[*qt as usize].alias),
+            Plan::Join { left, right, .. } => {
+                out.push('(');
+                leading(left, q, out);
+                out.push(' ');
+                leading(right, q, out);
+                out.push(')');
+            }
+        }
+    }
+    let mut order = String::new();
+    leading(plan, q, &mut order);
+    let mut ops = Vec::new();
+    plan.visit(&mut |p| match p {
+        Plan::Join {
+            op, left, right, ..
+        } => {
+            let name = match op {
+                JoinOp::Hash => "HashJoin",
+                JoinOp::Merge => "MergeJoin",
+                JoinOp::NestLoop => "NestLoop",
+            };
+            let mut aliases = Vec::new();
+            for m in [left.mask(), right.mask()] {
+                for i in m.iter() {
+                    aliases.push(q.tables[i].alias.clone());
+                }
+            }
+            ops.push(format!("{name}({})", aliases.join(" ")));
+        }
+        Plan::Scan { qt, op } => {
+            let name = match op {
+                ScanOp::Seq => "SeqScan",
+                ScanOp::Index => "IndexScan",
+            };
+            ops.push(format!("{name}({})", q.tables[*qt as usize].alias));
+        }
+    });
+    format!("/*+ Leading({order}) {} */", ops.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Filter, JoinEdge, QueryTable};
+    use crate::plan::{JoinOp, Plan, ScanOp};
+    use balsa_storage::{mini_imdb, DataGenConfig};
+
+    fn tiny_query(catalog: &Catalog) -> Query {
+        let t = catalog.table_id("title").unwrap();
+        let mc = catalog.table_id("movie_companies").unwrap();
+        Query {
+            id: 1,
+            name: "demo".into(),
+            template: 0,
+            tables: vec![
+                QueryTable {
+                    table: t,
+                    alias: "t".into(),
+                },
+                QueryTable {
+                    table: mc,
+                    alias: "mc".into(),
+                },
+            ],
+            joins: vec![JoinEdge {
+                left_qt: 0,
+                left_col: 0,
+                right_qt: 1,
+                right_col: 1,
+            }],
+            filters: vec![Filter {
+                qt: 0,
+                col: 2,
+                pred: Predicate::Between(1990, 2000),
+            }],
+        }
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let db = mini_imdb(DataGenConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let q = tiny_query(db.catalog());
+        let sql = to_sql(&q, db.catalog());
+        assert!(sql.contains("title AS t"));
+        assert!(sql.contains("t.id = mc.movie_id"));
+        assert!(sql.contains("BETWEEN 1990 AND 2000"));
+    }
+
+    #[test]
+    fn hint_rendering() {
+        let db = mini_imdb(DataGenConfig {
+            scale: 0.05,
+            ..Default::default()
+        });
+        let q = tiny_query(db.catalog());
+        let p = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Index),
+        );
+        let hint = to_hint(&p, &q);
+        assert!(hint.contains("Leading((t mc))"));
+        assert!(hint.contains("HashJoin(t mc)"));
+        assert!(hint.contains("IndexScan(mc)"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-column statistics: equi-depth histograms, most-common values,
+//! distinct counts. These are exactly the statistics a PostgreSQL-style
+//! optimizer keeps (`pg_stats`), and they back the histogram cardinality
+//! estimator in `balsa-card`.
+
+use crate::column::{Column, NULL_SENTINEL};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of equi-depth buckets kept per histogram.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+/// Number of most-common values tracked per column.
+pub const NUM_MCVS: usize = 10;
+
+/// An equi-depth histogram over the non-null values of a column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bucket boundaries: `bounds[i]..=bounds[i+1]` is bucket `i`.
+    /// Length is `num_buckets + 1`; empty when the column has no values.
+    pub bounds: Vec<i64>,
+    /// Rows per bucket (equi-depth, so these are near-equal).
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds an equi-depth histogram from (a copy of) the values.
+    pub fn build(mut values: Vec<i64>, buckets: usize) -> Self {
+        if values.is_empty() {
+            return Self {
+                bounds: vec![],
+                counts: vec![],
+            };
+        }
+        values.sort_unstable();
+        let n = values.len();
+        let b = buckets.min(n).max(1);
+        let mut bounds = Vec::with_capacity(b + 1);
+        let mut counts = Vec::with_capacity(b);
+        bounds.push(values[0]);
+        let mut prev_end = 0usize;
+        for i in 1..=b {
+            let end = (i * n) / b;
+            bounds.push(values[end - 1]);
+            counts.push((end - prev_end) as u64);
+            prev_end = end;
+        }
+        Self { bounds, counts }
+    }
+
+    /// Estimated fraction of values `<= v` (continuous interpolation
+    /// within buckets, the textbook assumption).
+    pub fn fraction_le(&self, v: i64) -> f64 {
+        if self.bounds.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        if v < self.bounds[0] {
+            return 0.0;
+        }
+        if v >= *self.bounds.last().unwrap() {
+            return 1.0;
+        }
+        let mut acc = 0u64;
+        for (i, &cnt) in self.counts.iter().enumerate() {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            if v >= hi {
+                acc += cnt;
+                continue;
+            }
+            // v falls inside bucket i: interpolate.
+            let width = (hi - lo).max(1) as f64;
+            let frac = (v - lo).max(0) as f64 / width;
+            return (acc as f64 + cnt as f64 * frac) / total as f64;
+        }
+        1.0
+    }
+
+    /// Estimated selectivity of `lo <= x <= hi`.
+    pub fn fraction_between(&self, lo: i64, hi: i64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        (self.fraction_le(hi) - if lo == i64::MIN { 0.0 } else { self.fraction_le(lo - 1) })
+            .max(0.0)
+    }
+
+    /// Minimum observed value (None when empty).
+    pub fn min(&self) -> Option<i64> {
+        self.bounds.first().copied()
+    }
+
+    /// Maximum observed value (None when empty).
+    pub fn max(&self) -> Option<i64> {
+        self.bounds.last().copied()
+    }
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of rows (including NULLs).
+    pub num_rows: u64,
+    /// Fraction of NULL values.
+    pub null_frac: f64,
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Most common values with their frequencies (fraction of all rows),
+    /// sorted by descending frequency.
+    pub mcvs: Vec<(i64, f64)>,
+    /// Equi-depth histogram over non-null values.
+    pub histogram: Histogram,
+}
+
+impl ColumnStats {
+    /// Computes statistics for a column.
+    pub fn build(col: &Column) -> Self {
+        let num_rows = col.len() as u64;
+        let mut freq: HashMap<i64, u64> = HashMap::new();
+        let mut nulls = 0u64;
+        for &v in col.values() {
+            if v == NULL_SENTINEL {
+                nulls += 1;
+            } else {
+                *freq.entry(v).or_insert(0) += 1;
+            }
+        }
+        let ndv = freq.len() as u64;
+        let mut pairs: Vec<(i64, u64)> = freq.iter().map(|(&v, &c)| (v, c)).collect();
+        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mcvs = pairs
+            .iter()
+            .take(NUM_MCVS)
+            .map(|&(v, c)| (v, c as f64 / num_rows.max(1) as f64))
+            .collect();
+        let values: Vec<i64> = col.non_null().collect();
+        Self {
+            num_rows,
+            null_frac: if num_rows == 0 {
+                0.0
+            } else {
+                nulls as f64 / num_rows as f64
+            },
+            ndv,
+            mcvs,
+            histogram: Histogram::build(values, HISTOGRAM_BUCKETS),
+        }
+    }
+
+    /// Frequency of `v` if it is a tracked MCV.
+    pub fn mcv_freq(&self, v: i64) -> Option<f64> {
+        self.mcvs.iter().find(|(mv, _)| *mv == v).map(|(_, f)| *f)
+    }
+}
+
+/// Statistics for all columns of a table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Row count.
+    pub num_rows: u64,
+    /// Per-column statistics, aligned with catalog column ids.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Computes statistics for every column of `table`.
+    pub fn build(table: &crate::table::Table) -> Self {
+        let columns = (0..table.num_columns())
+            .map(|i| ColumnStats::build(table.column(i)))
+            .collect();
+        Self {
+            num_rows: table.num_rows() as u64,
+            columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_uniform() {
+        let vals: Vec<i64> = (0..1000).collect();
+        let h = Histogram::build(vals, 32);
+        assert_eq!(h.counts.len(), 32);
+        assert!((h.fraction_le(499) - 0.5).abs() < 0.05);
+        assert_eq!(h.fraction_le(-1), 0.0);
+        assert_eq!(h.fraction_le(999), 1.0);
+        let sel = h.fraction_between(100, 199);
+        assert!((sel - 0.1).abs() < 0.05, "sel={sel}");
+    }
+
+    #[test]
+    fn histogram_empty_and_singleton() {
+        let h = Histogram::build(vec![], 32);
+        assert_eq!(h.fraction_le(0), 0.0);
+        let h = Histogram::build(vec![7], 32);
+        assert_eq!(h.fraction_le(7), 1.0);
+        assert_eq!(h.fraction_le(6), 0.0);
+        assert_eq!(h.min(), Some(7));
+        assert_eq!(h.max(), Some(7));
+    }
+
+    #[test]
+    fn column_stats_skewed() {
+        // 90 copies of 1, ten distinct tail values.
+        let mut v = vec![1i64; 90];
+        v.extend(2..12);
+        let c = Column::new(v);
+        let s = ColumnStats::build(&c);
+        assert_eq!(s.num_rows, 100);
+        assert_eq!(s.ndv, 11);
+        assert!((s.mcv_freq(1).unwrap() - 0.9).abs() < 1e-9);
+        assert!(s.mcv_freq(999).is_none());
+    }
+
+    #[test]
+    fn null_fraction() {
+        let c = Column::new(vec![NULL_SENTINEL, 1, 2, NULL_SENTINEL]);
+        let s = ColumnStats::build(&c);
+        assert!((s.null_frac - 0.5).abs() < 1e-9);
+        assert_eq!(s.ndv, 2);
+    }
+}
