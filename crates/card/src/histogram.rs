@@ -86,9 +86,7 @@ impl<'db> HistogramEstimator<'db> {
             Predicate::InList(vs) => {
                 let sum: f64 = vs
                     .iter()
-                    .map(|v| {
-                        Self::pred_selectivity(stats, &Predicate::Cmp(CmpOp::Eq, *v))
-                    })
+                    .map(|v| Self::pred_selectivity(stats, &Predicate::Cmp(CmpOp::Eq, *v)))
                     .sum();
                 sum.clamp(0.0, 1.0)
             }
@@ -234,10 +232,7 @@ mod tests {
         // Ground truth: all rows with info_type_id = 3 satisfy both.
         let tbl = db.table(mi);
         let truth = (0..tbl.num_rows())
-            .filter(|&r| {
-                tbl.value(r, it_col) == 3
-                    && (300..=319).contains(&tbl.value(r, info_col))
-            })
+            .filter(|&r| tbl.value(r, it_col) == 3 && (300..=319).contains(&tbl.value(r, info_col)))
             .count() as f64;
         assert!(truth >= 10.0, "need correlated rows, got {truth}");
         assert!(

@@ -14,7 +14,7 @@
 //!
 //! with `τ = 0.2` (the paper's value for the lookup/scan cost ratio).
 
-use crate::CostModel;
+use crate::{CostModel, SubtreeCost};
 use balsa_card::CardEstimator;
 use balsa_query::{JoinOp, Plan, Query, TableMask};
 
@@ -62,6 +62,41 @@ impl CostModel for CmmModel {
 
     fn name(&self) -> &'static str {
         "C_mm"
+    }
+
+    fn scan_summary(&self, query: &Query, scan: &Plan, est: &dyn CardEstimator) -> SubtreeCost {
+        let rows = est.cardinality(query, scan.mask()).max(0.0);
+        SubtreeCost {
+            work: TAU * rows,
+            out_rows: rows,
+            sorted_on: Vec::new(),
+        }
+    }
+
+    fn join_summary(
+        &self,
+        query: &Query,
+        join: &Plan,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        est: &dyn CardEstimator,
+    ) -> SubtreeCost {
+        let out = est.cardinality(query, join.mask()).max(0.0);
+        let work = match join {
+            Plan::Join { op, .. } => match op {
+                JoinOp::Hash => out + lc.work + rc.work + rc.out_rows,
+                JoinOp::NestLoop => {
+                    out + lc.work + TAU * lc.out_rows * (rc.out_rows.max(2.0)).log2().max(1.0)
+                }
+                JoinOp::Merge => out + lc.work + rc.work + lc.out_rows + rc.out_rows,
+            },
+            Plan::Scan { .. } => TAU * out,
+        };
+        SubtreeCost {
+            work,
+            out_rows: out,
+            sorted_on: Vec::new(),
+        }
     }
 }
 

@@ -11,7 +11,7 @@
 //! C_out, which will ignore the differences between physical joins/scans
 //! and treat them as logical operators").
 
-use crate::CostModel;
+use crate::{CostModel, SubtreeCost};
 use balsa_card::CardEstimator;
 use balsa_query::{Plan, Query};
 
@@ -30,6 +30,32 @@ impl CostModel for CoutModel {
 
     fn name(&self) -> &'static str {
         "C_out"
+    }
+
+    fn scan_summary(&self, query: &Query, scan: &Plan, est: &dyn CardEstimator) -> SubtreeCost {
+        let rows = est.cardinality(query, scan.mask()).max(0.0);
+        SubtreeCost {
+            work: rows,
+            out_rows: rows,
+            sorted_on: Vec::new(),
+        }
+    }
+
+    fn join_summary(
+        &self,
+        query: &Query,
+        join: &Plan,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        est: &dyn CardEstimator,
+    ) -> SubtreeCost {
+        // C_out(T1 ⋈ T2) = |out| + C_out(T1) + C_out(T2).
+        let out = est.cardinality(query, join.mask()).max(0.0);
+        SubtreeCost {
+            work: out + lc.work + rc.work,
+            out_rows: out,
+            sorted_on: Vec::new(),
+        }
     }
 }
 

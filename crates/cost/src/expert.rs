@@ -11,7 +11,7 @@
 //! * the **"Expert Simulator"** ablation of §8.3.1, where Balsa
 //!   bootstraps from it instead of `C_out`.
 
-use crate::physical::{physical_cost, OpWeights};
+use crate::physical::{join_cost, physical_cost, scan_cost, OpWeights, SubtreeCost};
 use crate::CostModel;
 use balsa_card::CardEstimator;
 use balsa_query::{Plan, Query};
@@ -44,6 +44,45 @@ impl CostModel for ExpertCostModel {
 
     fn name(&self) -> &'static str {
         "expert"
+    }
+
+    fn scan_summary(&self, query: &Query, scan: &Plan, est: &dyn CardEstimator) -> SubtreeCost {
+        match scan {
+            Plan::Scan { qt, op } => {
+                scan_cost(&self.db, query, *qt as usize, *op, est, &self.weights)
+            }
+            Plan::Join { .. } => SubtreeCost {
+                work: self.plan_cost(query, scan, est),
+                out_rows: est.cardinality(query, scan.mask()).max(0.0),
+                sorted_on: Vec::new(),
+            },
+        }
+    }
+
+    fn join_summary(
+        &self,
+        query: &Query,
+        join: &Plan,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        est: &dyn CardEstimator,
+    ) -> SubtreeCost {
+        match join {
+            Plan::Join {
+                op, left, right, ..
+            } => join_cost(
+                &self.db,
+                query,
+                *op,
+                left,
+                lc,
+                right,
+                rc,
+                est,
+                &self.weights,
+            ),
+            Plan::Scan { .. } => self.scan_summary(query, join, est),
+        }
     }
 }
 

@@ -29,7 +29,7 @@ pub mod physical;
 pub use cmm::CmmModel;
 pub use cout::CoutModel;
 pub use expert::ExpertCostModel;
-pub use physical::{physical_cost, NodeCost, OpWeights};
+pub use physical::{join_cost, physical_cost, scan_cost, NodeCost, OpWeights, SubtreeCost};
 
 use balsa_card::CardEstimator;
 use balsa_query::{Plan, Query};
@@ -43,4 +43,39 @@ pub trait CostModel: Send + Sync {
 
     /// Human-readable model name (used in experiment reports).
     fn name(&self) -> &'static str;
+
+    /// Costed summary of a scan leaf, used compositionally by planners
+    /// (the DP enumerator and beam search of `balsa-search`).
+    ///
+    /// The default recomputes via [`CostModel::plan_cost`] and reports no
+    /// output order; models that know about physical orders (the expert
+    /// model) override it.
+    fn scan_summary(&self, query: &Query, scan: &Plan, est: &dyn CardEstimator) -> SubtreeCost {
+        SubtreeCost {
+            work: self.plan_cost(query, scan, est),
+            out_rows: est.cardinality(query, scan.mask()).max(0.0),
+            sorted_on: Vec::new(),
+        }
+    }
+
+    /// Costed summary of `join` (a [`Plan::Join`]) given its children's
+    /// summaries `lc`/`rc`. `work` covers the whole subtree. Must agree
+    /// with [`CostModel::plan_cost`] on the same tree; the default
+    /// guarantees that by recomputing from scratch (O(tree) per call),
+    /// while overrides compose in O(1).
+    fn join_summary(
+        &self,
+        query: &Query,
+        join: &Plan,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        est: &dyn CardEstimator,
+    ) -> SubtreeCost {
+        let _ = (lc, rc);
+        SubtreeCost {
+            work: self.plan_cost(query, join, est),
+            out_rows: est.cardinality(query, join.mask()).max(0.0),
+            sorted_on: Vec::new(),
+        }
+    }
 }

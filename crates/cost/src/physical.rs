@@ -90,20 +90,175 @@ pub struct NodeCost {
     pub out_rows: f64,
 }
 
-/// Result of recursively costing a subtree.
-struct SubtreeCost {
-    work: f64,
-    out_rows: f64,
+/// Costed summary of a plan subtree.
+///
+/// This is the compositional currency of the planning layer: the DP
+/// enumerator and beam search build candidate joins by combining child
+/// summaries through [`join_cost`] instead of re-costing whole trees,
+/// and [`physical_cost`] itself is defined in terms of the same two
+/// builders, so planner scores and engine charges can never diverge.
+#[derive(Debug, Clone, Default)]
+pub struct SubtreeCost {
+    /// Total work of the subtree (this node plus all descendants).
+    pub work: f64,
+    /// Output cardinality of the subtree.
+    pub out_rows: f64,
     /// `(qt, col)` pairs the output is sorted on (equivalence class of the
     /// last order-producing operator), used to elide merge-join sorts.
-    sorted_on: Vec<(usize, usize)>,
+    pub sorted_on: Vec<(usize, usize)>,
+}
+
+/// Costs a scan leaf of query-table `qt` with operator `op`.
+pub fn scan_cost(
+    db: &Database,
+    q: &Query,
+    qt: usize,
+    op: ScanOp,
+    est: &dyn CardEstimator,
+    w: &OpWeights,
+) -> SubtreeCost {
+    let tid = q.tables[qt].table;
+    let base = db.stats(tid).num_rows as f64;
+    let out = est.cardinality(q, TableMask::single(qt)).max(0.0);
+    let (work, sorted_on) = match op {
+        ScanOp::Seq => (w.seq_tuple * base, Vec::new()),
+        ScanOp::Index => {
+            // An index scan drives through whichever index serves the
+            // access (filter column or join key); its output is ordered
+            // by that key. We expose the full set of indexed columns as
+            // candidate orders; the parent join picks the one it needs.
+            let sorted: Vec<(usize, usize)> = db
+                .catalog()
+                .table(tid)
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.indexed)
+                .map(|(ci, _)| (qt, ci))
+                .collect();
+            let work = w.index_lookup * (base + 2.0).log2() + w.index_tuple * out;
+            (work, sorted)
+        }
+    };
+    SubtreeCost {
+        work,
+        out_rows: out,
+        sorted_on,
+    }
+}
+
+/// Costs a join of `left` and `right` (whose summaries are `lc`/`rc`)
+/// under operator `op`, returning the summary of the combined subtree
+/// (`work` includes both children).
+// The argument list is the full join-costing context; bundling it into a
+// struct would force every planner hot loop to build one per candidate.
+#[allow(clippy::too_many_arguments)]
+pub fn join_cost(
+    db: &Database,
+    q: &Query,
+    op: JoinOp,
+    left: &Plan,
+    lc: &SubtreeCost,
+    right: &Plan,
+    rc: &SubtreeCost,
+    est: &dyn CardEstimator,
+    w: &OpWeights,
+) -> SubtreeCost {
+    let mask = left.mask().union(right.mask());
+    let out = est.cardinality(q, mask).max(0.0);
+    let edges = q.edges_between(left.mask(), right.mask());
+    let mut sorted_on = Vec::new();
+    let work = match op {
+        JoinOp::Hash => {
+            // Build on the right, probe from the left.
+            w.hash_build * rc.out_rows + w.hash_probe * lc.out_rows + w.output_tuple * out
+        }
+        JoinOp::Merge => {
+            // Sort either input unless it already streams in the join
+            // key's order.
+            let key_of = |side_mask: TableMask| -> Vec<(usize, usize)> {
+                edges
+                    .iter()
+                    .map(|e| {
+                        if side_mask.contains(e.left_qt) {
+                            (e.left_qt, e.left_col)
+                        } else {
+                            (e.right_qt, e.right_col)
+                        }
+                    })
+                    .collect()
+            };
+            let lkeys = key_of(left.mask());
+            let rkeys = key_of(right.mask());
+            let sort_cost = |rows: f64| w.sort_tuple_log * rows * (rows + 2.0).log2();
+            let l_sorted = lkeys.iter().any(|k| lc.sorted_on.contains(k));
+            let r_sorted = rkeys.iter().any(|k| rc.sorted_on.contains(k));
+            let mut wk = w.merge_tuple * (lc.out_rows + rc.out_rows) + w.output_tuple * out;
+            if !l_sorted {
+                wk += sort_cost(lc.out_rows);
+            }
+            if !r_sorted {
+                wk += sort_cost(rc.out_rows);
+            }
+            // Output is ordered on the merge keys.
+            sorted_on.extend(lkeys);
+            sorted_on.extend(rkeys);
+            wk
+        }
+        JoinOp::NestLoop => {
+            // Index nested loop when the inner (right) side is a base
+            // *index* scan with an index on some join column. A
+            // sequential inner forces re-scanning the table per outer
+            // tuple — the quadratic case.
+            let indexed_inner = match right {
+                Plan::Scan {
+                    qt,
+                    op: ScanOp::Index,
+                } => {
+                    let qt = *qt as usize;
+                    let tid = q.tables[qt].table;
+                    edges.iter().any(|e| {
+                        let col = if e.right_qt == qt {
+                            Some(e.right_col)
+                        } else if e.left_qt == qt {
+                            Some(e.left_col)
+                        } else {
+                            None
+                        };
+                        col.is_some_and(|c| db.catalog().is_indexed(tid, c))
+                    })
+                }
+                _ => false,
+            };
+            // NL preserves the outer (left) input's order.
+            sorted_on = lc.sorted_on.clone();
+            if indexed_inner {
+                let inner_base = match right {
+                    Plan::Scan { qt, .. } => db.stats(q.tables[*qt as usize].table).num_rows as f64,
+                    _ => rc.out_rows,
+                };
+                w.nl_index_outer * lc.out_rows * (inner_base + 2.0).log2()
+                    + w.index_tuple * out
+                    + w.output_tuple * out
+            } else {
+                // The disaster case: quadratic pairing.
+                w.nl_pair * lc.out_rows * rc.out_rows + w.output_tuple * out
+            }
+        }
+    };
+    SubtreeCost {
+        work: lc.work + rc.work + work,
+        out_rows: out,
+        sorted_on,
+    }
 }
 
 /// Computes the physical cost of `plan`, appending per-node reports to
 /// `nodes` (pass `None` when only the total is needed).
 ///
 /// Cardinalities come from `est`, which may be an estimator or the true
-/// oracle. Index availability comes from the catalog in `db`.
+/// oracle. Index availability comes from the catalog in `db`. Defined
+/// entirely in terms of [`scan_cost`] and [`join_cost`].
 pub fn physical_cost(
     db: &Database,
     query: &Query,
@@ -123,43 +278,15 @@ pub fn physical_cost(
         match p {
             Plan::Scan { qt, op } => {
                 let qt = *qt as usize;
-                let tid = q.tables[qt].table;
-                let base = db.stats(tid).num_rows as f64;
-                let out = est.cardinality(q, TableMask::single(qt)).max(0.0);
-                let (work, sorted_on) = match op {
-                    ScanOp::Seq => (w.seq_tuple * base, Vec::new()),
-                    ScanOp::Index => {
-                        // An index scan drives through whichever index
-                        // serves the access (filter column or join key);
-                        // its output is ordered by that key. We expose the
-                        // full set of indexed columns as candidate orders;
-                        // the parent join picks the one it needs.
-                        let sorted: Vec<(usize, usize)> = db
-                            .catalog()
-                            .table(tid)
-                            .columns
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, c)| c.indexed)
-                            .map(|(ci, _)| (qt, ci))
-                            .collect();
-                        let work =
-                            w.index_lookup * (base + 2.0).log2() + w.index_tuple * out;
-                        (work, sorted)
-                    }
-                };
+                let s = scan_cost(db, q, qt, *op, est, w);
                 if let Some(ns) = nodes.as_deref_mut() {
                     ns.push(NodeCost {
                         mask: TableMask::single(qt),
-                        work,
-                        out_rows: out,
+                        work: s.work,
+                        out_rows: s.out_rows,
                     });
                 }
-                SubtreeCost {
-                    work,
-                    out_rows: out,
-                    sorted_on,
-                }
+                s
             }
             Plan::Join {
                 op,
@@ -169,106 +296,15 @@ pub fn physical_cost(
             } => {
                 let l = rec(db, q, left, est, w, nodes);
                 let r = rec(db, q, right, est, w, nodes);
-                let out = est.cardinality(q, *mask).max(0.0);
-                let edges = q.edges_between(left.mask(), right.mask());
-                let mut sorted_on = Vec::new();
-                let work = match op {
-                    JoinOp::Hash => {
-                        // Build on the right, probe from the left.
-                        w.hash_build * r.out_rows
-                            + w.hash_probe * l.out_rows
-                            + w.output_tuple * out
-                    }
-                    JoinOp::Merge => {
-                        // Sort either input unless it already streams in
-                        // the join key's order.
-                        let key_of = |side_mask: TableMask| -> Vec<(usize, usize)> {
-                            edges
-                                .iter()
-                                .map(|e| {
-                                    if side_mask.contains(e.left_qt) {
-                                        (e.left_qt, e.left_col)
-                                    } else {
-                                        (e.right_qt, e.right_col)
-                                    }
-                                })
-                                .collect()
-                        };
-                        let lkeys = key_of(left.mask());
-                        let rkeys = key_of(right.mask());
-                        let sort_cost = |rows: f64| {
-                            w.sort_tuple_log * rows * (rows + 2.0).log2()
-                        };
-                        let l_sorted = lkeys.iter().any(|k| l.sorted_on.contains(k));
-                        let r_sorted = rkeys.iter().any(|k| r.sorted_on.contains(k));
-                        let mut wk = w.merge_tuple * (l.out_rows + r.out_rows)
-                            + w.output_tuple * out;
-                        if !l_sorted {
-                            wk += sort_cost(l.out_rows);
-                        }
-                        if !r_sorted {
-                            wk += sort_cost(r.out_rows);
-                        }
-                        // Output is ordered on the merge keys.
-                        sorted_on.extend(lkeys);
-                        sorted_on.extend(rkeys);
-                        wk
-                    }
-                    JoinOp::NestLoop => {
-                        // Index nested loop when the inner (right) side is
-                        // a base *index* scan with an index on some join
-                        // column. A sequential inner forces re-scanning
-                        // the table per outer tuple — the quadratic case.
-                        let indexed_inner = match &**right {
-                            Plan::Scan {
-                                qt,
-                                op: ScanOp::Index,
-                            } => {
-                                let qt = *qt as usize;
-                                let tid = q.tables[qt].table;
-                                edges.iter().any(|e| {
-                                    let col = if e.right_qt == qt {
-                                        Some(e.right_col)
-                                    } else if e.left_qt == qt {
-                                        Some(e.left_col)
-                                    } else {
-                                        None
-                                    };
-                                    col.is_some_and(|c| db.catalog().is_indexed(tid, c))
-                                })
-                            }
-                            _ => false,
-                        };
-                        // NL preserves the outer (left) input's order.
-                        sorted_on = l.sorted_on.clone();
-                        if indexed_inner {
-                            let inner_base = match &**right {
-                                Plan::Scan { qt, .. } => {
-                                    db.stats(q.tables[*qt as usize].table).num_rows as f64
-                                }
-                                _ => r.out_rows,
-                            };
-                            w.nl_index_outer * l.out_rows * (inner_base + 2.0).log2()
-                                + w.index_tuple * out
-                                + w.output_tuple * out
-                        } else {
-                            // The disaster case: quadratic pairing.
-                            w.nl_pair * l.out_rows * r.out_rows + w.output_tuple * out
-                        }
-                    }
-                };
+                let s = join_cost(db, q, *op, left, &l, right, &r, est, w);
                 if let Some(ns) = nodes.as_deref_mut() {
                     ns.push(NodeCost {
                         mask: *mask,
-                        work,
-                        out_rows: out,
+                        work: s.work - l.work - r.work,
+                        out_rows: s.out_rows,
                     });
                 }
-                SubtreeCost {
-                    work: l.work + r.work + work,
-                    out_rows: out,
-                    sorted_on,
-                }
+                s
             }
         }
     }
@@ -395,10 +431,7 @@ mod tests {
         );
         let cs = physical_cost(&db, &q, &merge_sorted, &e, &w, None);
         let cu = physical_cost(&db, &q, &merge_unsorted, &e, &w, None);
-        assert!(
-            cs < cu,
-            "pre-sorted merge {cs} should beat sort-merge {cu}"
-        );
+        assert!(cs < cu, "pre-sorted merge {cs} should beat sort-merge {cu}");
     }
 
     #[test]

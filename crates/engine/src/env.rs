@@ -1,0 +1,439 @@
+//! The execution environment: plans in, latencies out.
+//!
+//! [`ExecutionEnv::execute`] is the single entry point the learning loop
+//! (and today, the planners' evaluation harness) uses to "run" a plan:
+//!
+//! 1. the plan is validated against the engine's hint space
+//!    ([`EngineProfile::bushy_hints`]) and the query's join graph;
+//! 2. the **plan cache** (§7 of the paper) is consulted by structural
+//!    [`Plan::fingerprint`] — a reissued plan returns its recorded
+//!    latency without re-execution and without advancing the clock;
+//! 3. otherwise the plan's work is charged via
+//!    [`balsa_cost::physical_cost`] evaluated on **true** cardinalities
+//!    ([`TrueCards`]), converted to seconds with the profile's
+//!    calibration constants plus deterministic log-normal noise;
+//! 4. **timeouts** (§4.3) early-terminate: when the latency exceeds the
+//!    caller's budget, the outcome reports `timed_out` and only the
+//!    budget's worth of simulated time elapses.
+//!
+//! All simulated time flows into an internal [`SimClock`], providing the
+//! x-axis of the paper's learning-curve figures.
+
+use crate::profile::EngineProfile;
+use crate::sim_clock::SimClock;
+use crate::truecard::{query_key, TrueCards};
+use balsa_cost::physical_cost;
+use balsa_query::{Plan, Query};
+use balsa_storage::Database;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Why the environment refused to execute a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvError {
+    /// The engine only accepts left-deep hints (CommDbSim, §8.2) and the
+    /// plan is bushy.
+    BushyHintRejected,
+    /// The plan does not cover exactly the query's tables, or joins
+    /// disconnected inputs (cross products are outside the search space).
+    InvalidPlan(String),
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvError::BushyHintRejected => {
+                write!(f, "engine accepts only left-deep plan hints")
+            }
+            EnvError::InvalidPlan(why) => write!(f, "invalid plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Result of one (possibly cached or timed-out) plan execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOutcome {
+    /// Observed latency in seconds. On timeout this equals the budget
+    /// (the execution was killed there).
+    pub latency_secs: f64,
+    /// Abstract work the plan was charged (true-cardinality physical
+    /// cost), independent of noise and timeout.
+    pub work: f64,
+    /// Whether the execution hit the caller's timeout budget.
+    pub timed_out: bool,
+    /// Whether the latency came from the plan cache (no time elapsed).
+    pub from_cache: bool,
+}
+
+/// A recorded execution in the plan cache.
+#[derive(Debug, Clone, Copy)]
+struct CachedRun {
+    latency_secs: f64,
+    work: f64,
+}
+
+/// The simulated execution environment of one engine.
+pub struct ExecutionEnv {
+    truth: TrueCards,
+    profile: EngineProfile,
+    cache: Mutex<HashMap<(u64, u64), CachedRun>>,
+    clock: Mutex<SimClock>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl ExecutionEnv {
+    /// Creates an environment over `db` with the given engine profile and
+    /// simulated clock.
+    pub fn new(db: Arc<Database>, profile: EngineProfile, clock: SimClock) -> Self {
+        Self {
+            truth: TrueCards::new(db),
+            profile,
+            cache: Mutex::new(HashMap::new()),
+            clock: Mutex::new(clock),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// PostgresSim with the paper's default clock — the common fixture.
+    pub fn postgres_sim(db: Arc<Database>) -> Self {
+        Self::new(db, EngineProfile::postgres_sim(), SimClock::paper_default())
+    }
+
+    /// CommDbSim with the paper's default clock.
+    pub fn commdb_sim(db: Arc<Database>) -> Self {
+        Self::new(db, EngineProfile::commdb_sim(), SimClock::paper_default())
+    }
+
+    /// The engine profile in use.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    /// The true-cardinality oracle (usable as a [`balsa_card::CardEstimator`]).
+    pub fn truth(&self) -> &TrueCards {
+        &self.truth
+    }
+
+    /// The database being executed against.
+    pub fn db(&self) -> &Arc<Database> {
+        self.truth.db()
+    }
+
+    /// Elapsed simulated seconds on the environment's clock.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.clock.lock().seconds()
+    }
+
+    /// Charges planning time to the clock (measured, in seconds).
+    pub fn charge_planning(&self, secs: f64) {
+        self.clock.lock().charge_planning(secs);
+    }
+
+    /// Charges `steps` SGD steps of model updating to the clock.
+    pub fn charge_update(&self, steps: u64) {
+        self.clock.lock().charge_update(steps);
+    }
+
+    /// `(cache hits, cache misses)` of the plan cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Whether the engine's hint space accepts this plan shape.
+    pub fn accepts(&self, plan: &Plan) -> bool {
+        self.profile.bushy_hints || plan.is_left_deep()
+    }
+
+    /// Validates that `plan` is an executable join tree for `query`:
+    /// covers exactly the query's tables, joins only connected inputs,
+    /// and fits the engine's hint space.
+    pub fn validate(&self, query: &Query, plan: &Plan) -> Result<(), EnvError> {
+        if plan.mask() != query.all_mask() {
+            return Err(EnvError::InvalidPlan(format!(
+                "plan covers mask {:b}, query needs {:b}",
+                plan.mask().0,
+                query.all_mask().0
+            )));
+        }
+        let mut disconnected = None;
+        plan.visit(&mut |node| {
+            if let Plan::Join { left, right, .. } = node {
+                if disconnected.is_none() && !query.connected(left.mask(), right.mask()) {
+                    disconnected = Some((left.mask(), right.mask()));
+                }
+            }
+        });
+        if let Some((l, r)) = disconnected {
+            return Err(EnvError::InvalidPlan(format!(
+                "cross product between masks {:b} and {:b}",
+                l.0, r.0
+            )));
+        }
+        if !self.accepts(plan) {
+            return Err(EnvError::BushyHintRejected);
+        }
+        Ok(())
+    }
+
+    /// Executes `plan` for `query` with an optional timeout budget in
+    /// seconds, returning the observed outcome.
+    ///
+    /// Timing model: `latency = startup + work · time_per_work · noise`,
+    /// where `work` is [`balsa_cost::physical_cost`] on true
+    /// cardinalities and `noise` is a deterministic mean-one log-normal
+    /// keyed by (query, plan fingerprint). Cache hits return the recorded
+    /// latency and charge no simulated time; fresh executions charge
+    /// `min(latency, budget)` to the clock.
+    pub fn execute(
+        &self,
+        query: &Query,
+        plan: &Plan,
+        timeout_secs: Option<f64>,
+    ) -> Result<ExecOutcome, EnvError> {
+        self.validate(query, plan)?;
+        let key = (query_key(query), plan.fingerprint());
+
+        if let Some(run) = self.cache.lock().get(&key).copied() {
+            *self.hits.lock() += 1;
+            return Ok(self.outcome_of(run, timeout_secs, true));
+        }
+
+        let work = physical_cost(
+            self.truth.db(),
+            query,
+            plan,
+            &self.truth,
+            &self.profile.weights,
+            None,
+        );
+        let noise = self.noise_factor(key);
+        let latency_secs = self.profile.startup_secs + work * self.profile.time_per_work * noise;
+        let run = CachedRun { latency_secs, work };
+        *self.misses.lock() += 1;
+
+        let outcome = self.outcome_of(run, timeout_secs, false);
+        // A killed execution only observes that latency exceeded the
+        // budget — caching the full latency would let a tiny-budget probe
+        // read it for free on reissue. Only completed runs are recorded.
+        if !outcome.timed_out {
+            self.cache.lock().insert(key, run);
+        }
+        // Early termination: only the budget's worth of time elapses.
+        self.clock.lock().charge_executions(&[outcome.latency_secs]);
+        Ok(outcome)
+    }
+
+    /// Applies the timeout policy to a (cached or fresh) run.
+    fn outcome_of(
+        &self,
+        run: CachedRun,
+        timeout_secs: Option<f64>,
+        from_cache: bool,
+    ) -> ExecOutcome {
+        let timed_out = timeout_secs.is_some_and(|b| run.latency_secs > b);
+        ExecOutcome {
+            latency_secs: if timed_out {
+                timeout_secs.expect("timed_out implies budget")
+            } else {
+                run.latency_secs
+            },
+            work: run.work,
+            timed_out,
+            from_cache,
+        }
+    }
+
+    /// Deterministic mean-one log-normal noise for one (query, plan) key.
+    fn noise_factor(&self, key: (u64, u64)) -> f64 {
+        let sigma = self.profile.noise_sigma;
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        // Two splitmix64 draws -> Box-Muller standard normal.
+        fn splitmix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        let a = splitmix(key.0 ^ key.1.rotate_left(17));
+        let b = splitmix(a ^ key.1);
+        let to_unit = |x: u64| ((x >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
+        let (u1, u2) = (to_unit(a), to_unit(b));
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        // Subtract σ²/2 so E[noise] = 1.
+        (sigma * z - sigma * sigma / 2.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balsa_query::workloads::job_workload;
+    use balsa_query::{JoinOp, ScanOp, TableMask};
+    use balsa_storage::{mini_imdb, DataGenConfig};
+
+    fn fixture() -> (Arc<Database>, balsa_query::Workload) {
+        let db = Arc::new(mini_imdb(DataGenConfig {
+            scale: 0.05,
+            ..Default::default()
+        }));
+        let w = job_workload(db.catalog(), 7);
+        (db, w)
+    }
+
+    /// A simple valid left-deep plan: greedy connected order, hash joins.
+    fn left_deep_hash(q: &Query) -> Arc<Plan> {
+        let mut plan = Plan::scan(0, ScanOp::Seq);
+        let mut remaining: Vec<usize> = (1..q.num_tables()).collect();
+        while !remaining.is_empty() {
+            let pos = remaining
+                .iter()
+                .position(|&t| q.connected(plan.mask(), TableMask::single(t)))
+                .expect("connected join graph");
+            let t = remaining.remove(pos);
+            plan = Plan::join(JoinOp::Hash, plan, Plan::scan(t, ScanOp::Seq));
+        }
+        plan
+    }
+
+    #[test]
+    fn execute_returns_finite_positive_latency() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::postgres_sim(db);
+        let q = &w.queries[0];
+        let out = env.execute(q, &left_deep_hash(q), None).unwrap();
+        assert!(out.latency_secs.is_finite() && out.latency_secs > 0.0);
+        assert!(out.work > 0.0);
+        assert!(!out.timed_out && !out.from_cache);
+        assert!(env.elapsed_secs() >= out.latency_secs * 0.99);
+    }
+
+    #[test]
+    fn reissued_fingerprint_hits_cache_and_charges_no_time() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::postgres_sim(db);
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let first = env.execute(q, &p, None).unwrap();
+        let elapsed = env.elapsed_secs();
+        // Structurally identical plan, fresh allocation: same fingerprint.
+        let again = env.execute(q, &left_deep_hash(q), None).unwrap();
+        assert!(again.from_cache);
+        assert_eq!(again.latency_secs, first.latency_secs);
+        assert_eq!(
+            env.elapsed_secs(),
+            elapsed,
+            "cache hit must not advance clock"
+        );
+        assert_eq!(env.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn over_budget_plan_early_terminates() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::postgres_sim(db.clone());
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let full = env.execute(q, &p, None).unwrap();
+        let budget = full.latency_secs / 2.0;
+        // Fresh env so the run is not cached.
+        let env2 = ExecutionEnv::postgres_sim(db);
+        let cut = env2.execute(q, &p, Some(budget)).unwrap();
+        assert!(cut.timed_out);
+        assert_eq!(cut.latency_secs, budget);
+        // Only the budget's worth of time elapsed.
+        assert!((env2.elapsed_secs() - budget).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timed_out_run_is_not_cached() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::postgres_sim(db.clone());
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let full = ExecutionEnv::postgres_sim(db).execute(q, &p, None).unwrap();
+        let budget = full.latency_secs / 2.0;
+        let cut = env.execute(q, &p, Some(budget)).unwrap();
+        assert!(cut.timed_out);
+        // The killed run observed nothing beyond the budget: a reissue
+        // must re-execute (cache miss) and pay the full latency.
+        let redo = env.execute(q, &p, None).unwrap();
+        assert!(!redo.from_cache);
+        assert_eq!(redo.latency_secs, full.latency_secs);
+        assert_eq!(env.cache_stats(), (0, 2));
+        assert!((env.elapsed_secs() - (budget + full.latency_secs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generous_budget_does_not_time_out() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::postgres_sim(db);
+        let q = &w.queries[0];
+        let out = env.execute(q, &left_deep_hash(q), Some(1e12)).unwrap();
+        assert!(!out.timed_out);
+    }
+
+    #[test]
+    fn commdb_hint_space_is_left_deep_only() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::commdb_sim(db);
+        let q = w
+            .queries
+            .iter()
+            .find(|q| q.num_tables() >= 4)
+            .expect("JOB-like has 4+ table queries");
+        let ld = left_deep_hash(q);
+        assert!(env.accepts(&ld));
+        // Rotate the top join to make the plan bushy (right subtree is a
+        // join), if the graph allows the orientation; the shape test is
+        // structural so connectivity does not matter for accepts().
+        if let Plan::Join {
+            op, left, right, ..
+        } = &*ld
+        {
+            let bushy = Plan::join(*op, right.clone(), left.clone());
+            if !bushy.is_left_deep() {
+                assert!(!env.accepts(&bushy));
+                assert_eq!(
+                    env.validate(q, &bushy).unwrap_err(),
+                    EnvError::BushyHintRejected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::postgres_sim(db);
+        let q = &w.queries[0];
+        // Covers only one table.
+        let partial = Plan::scan(0, ScanOp::Seq);
+        assert!(matches!(
+            env.execute(q, &partial, None),
+            Err(EnvError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn latency_is_deterministic_across_envs() {
+        let (db, w) = fixture();
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let l1 = ExecutionEnv::postgres_sim(db.clone())
+            .execute(q, &p, None)
+            .unwrap()
+            .latency_secs;
+        let l2 = ExecutionEnv::postgres_sim(db)
+            .execute(q, &p, None)
+            .unwrap()
+            .latency_secs;
+        assert_eq!(l1, l2, "same plan+query must time identically across envs");
+    }
+}

@@ -42,9 +42,9 @@ impl Intermediate {
 
     /// Mask of participating query-tables.
     pub fn mask(&self) -> TableMask {
-        self.qts
-            .iter()
-            .fold(TableMask::EMPTY, |m, &qt| m.union(TableMask::single(qt as usize)))
+        self.qts.iter().fold(TableMask::EMPTY, |m, &qt| {
+            m.union(TableMask::single(qt as usize))
+        })
     }
 
     /// Position of `qt` within this intermediate.
@@ -112,7 +112,10 @@ pub fn hash_join(
     b: &Intermediate,
 ) -> Result<Intermediate, Overflow> {
     let edges = query.edges_between(a.mask(), b.mask());
-    assert!(!edges.is_empty(), "no join edge between inputs (cross product)");
+    assert!(
+        !edges.is_empty(),
+        "no join edge between inputs (cross product)"
+    );
 
     // Normalize so `build` is the smaller side.
     let (build, probe) = if a.len() <= b.len() { (a, b) } else { (b, a) };
@@ -124,7 +127,11 @@ pub fn hash_join(
             .iter()
             .map(|e| {
                 if side.mask().contains(e.left_qt) {
-                    (side.pos(e.left_qt), query.tables[e.left_qt].table, e.left_col)
+                    (
+                        side.pos(e.left_qt),
+                        query.tables[e.left_qt].table,
+                        e.left_col,
+                    )
                 } else {
                     (
                         side.pos(e.right_qt),

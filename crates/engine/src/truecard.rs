@@ -23,7 +23,8 @@ const INTERMEDIATE_BUDGET_SLOTS: usize = 24_000_000;
 
 /// Key identifying a query within the oracle's caches. Uses the query id
 /// and an FNV hash of the name, so distinct workloads can share an oracle.
-fn query_key(q: &Query) -> u64 {
+/// Shared with the execution environment's plan cache.
+pub(crate) fn query_key(q: &Query) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in q.name.bytes() {
         h = (h ^ b as u64).wrapping_mul(0x100000001b3);
@@ -238,7 +239,7 @@ mod tests {
         let (db, w) = fixture();
         let oracle = TrueCards::new(db.clone());
         let q = &w.queries[0]; // template 1: t, mc, cn, ct, kt star
-        // mask {t, mc}: every mc row matches exactly one title.
+                               // mask {t, mc}: every mc row matches exactly one title.
         let t = q.qt_by_alias("t").unwrap();
         let mc = q.qt_by_alias("mc").unwrap();
         let both = TableMask::single(t).union(TableMask::single(mc));

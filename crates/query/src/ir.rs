@@ -208,7 +208,11 @@ impl Query {
 
     /// All join edges crossing between the disjoint masks `a` and `b`.
     pub fn edges_between(&self, a: TableMask, b: TableMask) -> Vec<JoinEdge> {
-        self.joins.iter().filter(|e| e.crosses(a, b)).copied().collect()
+        self.joins
+            .iter()
+            .filter(|e| e.crosses(a, b))
+            .copied()
+            .collect()
     }
 
     /// Whether joining `a` and `b` is permitted (at least one edge crosses;
@@ -234,11 +238,8 @@ impl Query {
                 let l = reached.contains(e.left_qt);
                 let r = reached.contains(e.right_qt);
                 if l != r {
-                    reached = reached.union(TableMask::single(if l {
-                        e.right_qt
-                    } else {
-                        e.left_qt
-                    }));
+                    reached =
+                        reached.union(TableMask::single(if l { e.right_qt } else { e.left_qt }));
                     grew = true;
                 }
             }
@@ -288,7 +289,10 @@ impl Query {
                 .get(f.qt)
                 .ok_or_else(|| format!("filter qt {} out of range", f.qt))?;
             if f.col >= catalog.table(t.table).columns.len() {
-                return Err(format!("filter column {} out of range for {}", f.col, t.alias));
+                return Err(format!(
+                    "filter column {} out of range for {}",
+                    f.col, t.alias
+                ));
             }
         }
         if !self.subgraph_connected(self.all_mask()) {

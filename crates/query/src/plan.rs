@@ -148,7 +148,10 @@ impl Plan {
 
     /// Join subtrees only (no scan leaves).
     pub fn join_subplans(self: &Arc<Plan>) -> Vec<Arc<Plan>> {
-        self.subplans().into_iter().filter(|p| !p.is_scan()).collect()
+        self.subplans()
+            .into_iter()
+            .filter(|p| !p.is_scan())
+            .collect()
     }
 
     /// The plan's gross shape.
@@ -354,10 +357,7 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(
-            left_deep_3().to_string(),
-            "HJ[NL[Seq(0), Idx(1)], Seq(2)]"
-        );
+        assert_eq!(left_deep_3().to_string(), "HJ[NL[Seq(0), Idx(1)], Seq(2)]");
     }
 
     #[test]

@@ -31,11 +31,7 @@ pub fn to_sql(q: &Query, catalog: &Catalog) -> String {
     }
     for f in &q.filters {
         let t = &q.tables[f.qt];
-        let col = format!(
-            "{}.{}",
-            t.alias,
-            catalog.table(t.table).columns[f.col].name
-        );
+        let col = format!("{}.{}", t.alias, catalog.table(t.table).columns[f.col].name);
         let cond = match &f.pred {
             Predicate::Cmp(op, v) => {
                 let sym = match op {

@@ -205,11 +205,7 @@ impl<'a> Qb<'a> {
 
     fn filter(&mut self, alias: &str, col: &str, pred: Predicate) {
         let (qt, cid) = self.col(alias, col);
-        self.filters.push(Filter {
-            qt,
-            col: cid,
-            pred,
-        });
+        self.filters.push(Filter { qt, col: cid, pred });
     }
 
     fn build(self, id: u32, name: String, template: u32) -> Query {
@@ -533,42 +529,141 @@ const JOB_TEMPLATES: &[TemplateSpec] = {
     use Fs::*;
     &[
         // -- small (4-5 tables) --
-        TemplateSpec { arms: &[McFull], filters: &[CountryEq, CtEq, YearGe] },
-        TemplateSpec { arms: &[MkFull, Kt], filters: &[KwIn, KindEq] },
-        TemplateSpec { arms: &[MiFull, Kt], filters: &[MiInfoCorr, KindEq, YearBetween] },
-        TemplateSpec { arms: &[MiiFull, Kt], filters: &[RatingGe, KindEq] },
-        TemplateSpec { arms: &[CiN, Kt], filters: &[GenderEq, KindEq, CiNote, YearGe] },
-        TemplateSpec { arms: &[McCn, Mk], filters: &[CountryEq, McNote, YearGe] },
+        TemplateSpec {
+            arms: &[McFull],
+            filters: &[CountryEq, CtEq, YearGe],
+        },
+        TemplateSpec {
+            arms: &[MkFull, Kt],
+            filters: &[KwIn, KindEq],
+        },
+        TemplateSpec {
+            arms: &[MiFull, Kt],
+            filters: &[MiInfoCorr, KindEq, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[MiiFull, Kt],
+            filters: &[RatingGe, KindEq],
+        },
+        TemplateSpec {
+            arms: &[CiN, Kt],
+            filters: &[GenderEq, KindEq, CiNote, YearGe],
+        },
+        TemplateSpec {
+            arms: &[McCn, Mk],
+            filters: &[CountryEq, McNote, YearGe],
+        },
         // -- medium (5-7 tables) --
-        TemplateSpec { arms: &[McCn, MkFull], filters: &[KwIn, CountryEq, YearBetween] },
-        TemplateSpec { arms: &[MkFull, MiFull], filters: &[KwIn, MiInfoCorr, YearGe] },
-        TemplateSpec { arms: &[MiFull, MiiFull], filters: &[MiInfoCorr, RatingGe, YearBetween] },
-        TemplateSpec { arms: &[McFull, MiFull], filters: &[CtEq, MiInfoCorr, YearBetween] },
-        TemplateSpec { arms: &[CiN, MkFull], filters: &[KwIn, GenderEq, CiNote] },
-        TemplateSpec { arms: &[CiN, Pi, AkaN], filters: &[PcodeEq, GenderEq, YearBetween] },
-        TemplateSpec { arms: &[McFull, MlFull], filters: &[LtEq, CountryEq, YearGe] },
-        TemplateSpec { arms: &[CiN, MiFull], filters: &[GenderEq, MiInfoCorr, YearGe] },
-        TemplateSpec { arms: &[McCn, MiiFull, Kt], filters: &[CountryEq, RatingGe, KindEq] },
-        TemplateSpec { arms: &[MkFull, CcFull], filters: &[KwIn, CctEq, YearGe] },
+        TemplateSpec {
+            arms: &[McCn, MkFull],
+            filters: &[KwIn, CountryEq, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[MkFull, MiFull],
+            filters: &[KwIn, MiInfoCorr, YearGe],
+        },
+        TemplateSpec {
+            arms: &[MiFull, MiiFull],
+            filters: &[MiInfoCorr, RatingGe, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[McFull, MiFull],
+            filters: &[CtEq, MiInfoCorr, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[CiN, MkFull],
+            filters: &[KwIn, GenderEq, CiNote],
+        },
+        TemplateSpec {
+            arms: &[CiN, Pi, AkaN],
+            filters: &[PcodeEq, GenderEq, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[McFull, MlFull],
+            filters: &[LtEq, CountryEq, YearGe],
+        },
+        TemplateSpec {
+            arms: &[CiN, MiFull],
+            filters: &[GenderEq, MiInfoCorr, YearGe],
+        },
+        TemplateSpec {
+            arms: &[McCn, MiiFull, Kt],
+            filters: &[CountryEq, RatingGe, KindEq],
+        },
+        TemplateSpec {
+            arms: &[MkFull, CcFull],
+            filters: &[KwIn, CctEq, YearGe],
+        },
         // -- large (7-9 tables) --
-        TemplateSpec { arms: &[CiFull, McCn], filters: &[RoleEq, CountryEq, CiNote] },
-        TemplateSpec { arms: &[CiFull, CcFull], filters: &[CctEq, RoleEq, CiNote, YearGe] },
-        TemplateSpec { arms: &[McFull, MiFull, MiiFull], filters: &[CtEq, MiInfoCorr, RatingGe, YearBetween] },
-        TemplateSpec { arms: &[CiFull, MkFull], filters: &[KwIn, RoleEq, GenderEq] },
-        TemplateSpec { arms: &[CiN, McCn, MkFull], filters: &[KwIn, CountryEq, GenderEq, YearBetween] },
-        TemplateSpec { arms: &[McFull, MlFull, Kt], filters: &[LtEq, CtEq, KindEq, YearGe] },
-        TemplateSpec { arms: &[CiN, AkaN, McCn, Kt], filters: &[CountryEq, GenderEq, KindEq] },
-        TemplateSpec { arms: &[MiFull, MiiFull, MkFull], filters: &[MiInfoCorr, RatingGe, KwIn] },
-        TemplateSpec { arms: &[CiN, Pi, MiFull], filters: &[GenderEq, MiInfoCorr, YearGe] },
-        TemplateSpec { arms: &[McFull, CcFull, Kt], filters: &[CountryEq, CctEq, KindEq, YearBetween] },
+        TemplateSpec {
+            arms: &[CiFull, McCn],
+            filters: &[RoleEq, CountryEq, CiNote],
+        },
+        TemplateSpec {
+            arms: &[CiFull, CcFull],
+            filters: &[CctEq, RoleEq, CiNote, YearGe],
+        },
+        TemplateSpec {
+            arms: &[McFull, MiFull, MiiFull],
+            filters: &[CtEq, MiInfoCorr, RatingGe, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[CiFull, MkFull],
+            filters: &[KwIn, RoleEq, GenderEq],
+        },
+        TemplateSpec {
+            arms: &[CiN, McCn, MkFull],
+            filters: &[KwIn, CountryEq, GenderEq, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[McFull, MlFull, Kt],
+            filters: &[LtEq, CtEq, KindEq, YearGe],
+        },
+        TemplateSpec {
+            arms: &[CiN, AkaN, McCn, Kt],
+            filters: &[CountryEq, GenderEq, KindEq],
+        },
+        TemplateSpec {
+            arms: &[MiFull, MiiFull, MkFull],
+            filters: &[MiInfoCorr, RatingGe, KwIn],
+        },
+        TemplateSpec {
+            arms: &[CiN, Pi, MiFull],
+            filters: &[GenderEq, MiInfoCorr, YearGe],
+        },
+        TemplateSpec {
+            arms: &[McFull, CcFull, Kt],
+            filters: &[CountryEq, CctEq, KindEq, YearBetween],
+        },
         // -- extra large (9-14 tables) --
-        TemplateSpec { arms: &[CiFull, McFull], filters: &[RoleEq, CountryEq, CtEq, YearGe] },
-        TemplateSpec { arms: &[CiFull, McCn, MkFull], filters: &[KwIn, CountryEq, RoleEq, YearBetween] },
-        TemplateSpec { arms: &[CiFull, MiFull, MiiFull], filters: &[RoleEq, MiInfoCorr, RatingGe] },
-        TemplateSpec { arms: &[McFull, MiFull, MiiFull, MkFull], filters: &[CtEq, MiInfoCorr, RatingGe, KwIn, YearBetween] },
-        TemplateSpec { arms: &[CiFull, McFull, MkFull], filters: &[KwIn, CountryEq, RoleEq, CiNote] },
-        TemplateSpec { arms: &[CiFull, McFull, MiFull, Kt], filters: &[CountryEq, MiInfoCorr, KindEq, RoleEq] },
-        TemplateSpec { arms: &[CiFull, McFull, MiFull, MiiFull, MkFull], filters: &[CountryEq, MiInfoCorr, RatingGe, KwIn, RoleEq, YearBetween] },
+        TemplateSpec {
+            arms: &[CiFull, McFull],
+            filters: &[RoleEq, CountryEq, CtEq, YearGe],
+        },
+        TemplateSpec {
+            arms: &[CiFull, McCn, MkFull],
+            filters: &[KwIn, CountryEq, RoleEq, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[CiFull, MiFull, MiiFull],
+            filters: &[RoleEq, MiInfoCorr, RatingGe],
+        },
+        TemplateSpec {
+            arms: &[McFull, MiFull, MiiFull, MkFull],
+            filters: &[CtEq, MiInfoCorr, RatingGe, KwIn, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[CiFull, McFull, MkFull],
+            filters: &[KwIn, CountryEq, RoleEq, CiNote],
+        },
+        TemplateSpec {
+            arms: &[CiFull, McFull, MiFull, Kt],
+            filters: &[CountryEq, MiInfoCorr, KindEq, RoleEq],
+        },
+        TemplateSpec {
+            arms: &[CiFull, McFull, MiFull, MiiFull, MkFull],
+            filters: &[CountryEq, MiInfoCorr, RatingGe, KwIn, RoleEq, YearBetween],
+        },
     ]
 };
 
@@ -579,14 +674,38 @@ const EXT_JOB_TEMPLATES: &[TemplateSpec] = {
     use Arm::*;
     use Fs::*;
     &[
-        TemplateSpec { arms: &[MlFull, MlT2], filters: &[LtEq, YearGe, T2YearGe] },
-        TemplateSpec { arms: &[MlT2, MkFull], filters: &[KwIn, T2YearGe] },
-        TemplateSpec { arms: &[Cc2, MkFull], filters: &[CctEq, KwIn, YearBetween] },
-        TemplateSpec { arms: &[AkaT, MiFull], filters: &[MiInfoAnti, YearGe] },
-        TemplateSpec { arms: &[AkaT, McCn, Kt], filters: &[CountryEq, KindEq, SeasonGe] },
-        TemplateSpec { arms: &[Cc2, CiN], filters: &[CctEq, GenderEq, CiNote] },
-        TemplateSpec { arms: &[MlT2, MiiFull], filters: &[RatingGe, T2YearGe, SeasonGe] },
-        TemplateSpec { arms: &[AkaT, Cc2, Kt], filters: &[CctEq, KindEq, YearBetween] },
+        TemplateSpec {
+            arms: &[MlFull, MlT2],
+            filters: &[LtEq, YearGe, T2YearGe],
+        },
+        TemplateSpec {
+            arms: &[MlT2, MkFull],
+            filters: &[KwIn, T2YearGe],
+        },
+        TemplateSpec {
+            arms: &[Cc2, MkFull],
+            filters: &[CctEq, KwIn, YearBetween],
+        },
+        TemplateSpec {
+            arms: &[AkaT, MiFull],
+            filters: &[MiInfoAnti, YearGe],
+        },
+        TemplateSpec {
+            arms: &[AkaT, McCn, Kt],
+            filters: &[CountryEq, KindEq, SeasonGe],
+        },
+        TemplateSpec {
+            arms: &[Cc2, CiN],
+            filters: &[CctEq, GenderEq, CiNote],
+        },
+        TemplateSpec {
+            arms: &[MlT2, MiiFull],
+            filters: &[RatingGe, T2YearGe, SeasonGe],
+        },
+        TemplateSpec {
+            arms: &[AkaT, Cc2, Kt],
+            filters: &[CctEq, KindEq, YearBetween],
+        },
     ]
 };
 
@@ -618,9 +737,8 @@ pub fn job_workload(catalog: &Catalog, seed: u64) -> Workload {
         // to reach JOB's 113 queries.
         let variants = if ti < 14 { 4 } else { 3 };
         for v in 0..variants {
-            let mut rng = SmallRng::seed_from_u64(
-                seed ^ (0x10B << 32) ^ ((ti as u64) << 8) ^ v as u64,
-            );
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (0x10B << 32) ^ ((ti as u64) << 8) ^ v as u64);
             let name = format!("job_{:02}{}", ti + 1, (b'a' + v as u8) as char);
             queries.push(instantiate(catalog, spec, id, name, ti as u32, &mut rng));
             id += 1;
@@ -640,9 +758,8 @@ pub fn ext_job_workload(catalog: &Catalog, seed: u64) -> Workload {
     let mut id = 0u32;
     for (ti, spec) in EXT_JOB_TEMPLATES.iter().enumerate() {
         for v in 0..3 {
-            let mut rng = SmallRng::seed_from_u64(
-                seed ^ (0xE87 << 32) ^ ((ti as u64) << 8) ^ v as u64,
-            );
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (0xE87 << 32) ^ ((ti as u64) << 8) ^ v as u64);
             let template = 100 + ti as u32;
             let name = format!("extjob_{:02}{}", ti + 1, (b'a' + v as u8) as char);
             queries.push(instantiate(catalog, spec, id, name, template, &mut rng));
@@ -794,11 +911,7 @@ fn tpch_query(catalog: &Catalog, template: u32, id: u32, v: u32, rng: &mut Small
         }
         other => panic!("unknown TPC-H template {other}"),
     }
-    qb.build(
-        id,
-        format!("tpch_q{template:02}_v{v}"),
-        template,
-    )
+    qb.build(id, format!("tpch_q{template:02}_v{v}"), template)
 }
 
 /// Generates the TPC-H-like workload: 10 queries per template for the
@@ -810,9 +923,8 @@ pub fn tpch_workload(catalog: &Catalog, seed: u64) -> Workload {
     templates.push(TPCH_TEST_TEMPLATE);
     for &template in &templates {
         for v in 0..10u32 {
-            let mut rng = SmallRng::seed_from_u64(
-                seed ^ (0x79C << 32) ^ ((template as u64) << 8) ^ v as u64,
-            );
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (0x79C << 32) ^ ((template as u64) << 8) ^ v as u64);
             queries.push(tpch_query(catalog, template, id, v, &mut rng));
             id += 1;
         }
@@ -853,8 +965,8 @@ mod tests {
             assert!(q.num_tables() <= 16, "{} too big", q.name);
         }
         // Average join count should be in the paper's ballpark (~8).
-        let avg: f64 = w.queries.iter().map(|q| q.num_joins() as f64).sum::<f64>()
-            / w.queries.len() as f64;
+        let avg: f64 =
+            w.queries.iter().map(|q| q.num_joins() as f64).sum::<f64>() / w.queries.len() as f64;
         assert!((5.0..11.0).contains(&avg), "avg joins {avg}");
     }
 
@@ -910,8 +1022,7 @@ mod tests {
             t.sort_unstable();
             t.join(",")
         };
-        let job_sigs: std::collections::HashSet<String> =
-            job.queries.iter().map(sig).collect();
+        let job_sigs: std::collections::HashSet<String> = job.queries.iter().map(sig).collect();
         for q in &ext.queries {
             assert!(
                 !job_sigs.contains(&sig(q)),

@@ -1,0 +1,172 @@
+//! Planner benchmark: DP vs beam-k ∈ {5, 10, 20} over the 113-query
+//! JOB-like workload.
+//!
+//! Seeds the repo's benchmark trajectory. For every query and planner it
+//! records planning wall-clock time and the plan's expert-model cost;
+//! per-planner aggregates report total/median planning time and the
+//! distribution of cost ratios versus the DP optimum. Results land in
+//! `BENCH_planner.json` (JSON written by hand — the serde shim does not
+//! serialize; see vendor/README.md).
+//!
+//! Run with: `cargo run --release -p balsa-search --example bench_planner`
+
+use balsa_card::HistogramEstimator;
+use balsa_cost::{ExpertCostModel, OpWeights};
+use balsa_query::workloads::job_workload;
+use balsa_search::{BeamPlanner, DpPlanner, Planner, SearchMode};
+use balsa_storage::{mini_imdb, DataGenConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct PlannerReport {
+    name: String,
+    plan_secs: Vec<f64>,
+    costs: Vec<f64>,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let t_total = Instant::now();
+    let db = Arc::new(mini_imdb(DataGenConfig::default()));
+    let w = job_workload(db.catalog(), 7);
+    assert_eq!(
+        w.queries.len(),
+        113,
+        "JOB-like workload must have 113 queries"
+    );
+    let est = HistogramEstimator::new(&db);
+    let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+
+    let widths = [5usize, 10, 20];
+    let mut reports: Vec<PlannerReport> = Vec::new();
+
+    // DP first: its costs are the per-query baselines.
+    let dp_planner = DpPlanner::new(&db, &model, &est, SearchMode::Bushy);
+    let mut dp = PlannerReport {
+        name: dp_planner.name(),
+        plan_secs: Vec::new(),
+        costs: Vec::new(),
+    };
+    for q in &w.queries {
+        let out = dp_planner.plan(q);
+        dp.plan_secs.push(out.planning_secs);
+        dp.costs.push(out.cost);
+    }
+    let dp_costs = dp.costs.clone();
+    eprintln!(
+        "{}: total {:.2}s over {} queries",
+        dp.name,
+        dp.plan_secs.iter().sum::<f64>(),
+        w.queries.len()
+    );
+    reports.push(dp);
+
+    for &k in &widths {
+        let planner = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, k);
+        let mut rep = PlannerReport {
+            name: planner.name(),
+            plan_secs: Vec::new(),
+            costs: Vec::new(),
+        };
+        for q in &w.queries {
+            let out = planner.plan(q);
+            rep.plan_secs.push(out.planning_secs);
+            rep.costs.push(out.cost);
+        }
+        eprintln!(
+            "{}: total {:.2}s over {} queries",
+            rep.name,
+            rep.plan_secs.iter().sum::<f64>(),
+            w.queries.len()
+        );
+        reports.push(rep);
+    }
+
+    // Hand-rolled JSON.
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"planner\",\n");
+    let _ = writeln!(out, "  \"workload\": \"job_like\",");
+    let _ = writeln!(out, "  \"num_queries\": {},", w.queries.len());
+    let _ = writeln!(
+        out,
+        "  \"wall_secs_total\": {},",
+        json_f(t_total.elapsed().as_secs_f64())
+    );
+    out.push_str("  \"planners\": [\n");
+    for (pi, rep) in reports.iter().enumerate() {
+        let mut secs = rep.plan_secs.clone();
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut ratios: Vec<f64> = rep
+            .costs
+            .iter()
+            .zip(&dp_costs)
+            .map(|(c, d)| c / d)
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", rep.name);
+        let _ = writeln!(
+            out,
+            "      \"plan_secs_total\": {},",
+            json_f(rep.plan_secs.iter().sum())
+        );
+        let _ = writeln!(
+            out,
+            "      \"plan_secs_median\": {},",
+            json_f(median(&secs))
+        );
+        let _ = writeln!(
+            out,
+            "      \"plan_secs_max\": {},",
+            json_f(secs.last().copied().unwrap_or(f64::NAN))
+        );
+        let _ = writeln!(
+            out,
+            "      \"cost_ratio_vs_dp_median\": {},",
+            json_f(median(&ratios))
+        );
+        let _ = writeln!(
+            out,
+            "      \"cost_ratio_vs_dp_p90\": {},",
+            json_f(ratios[(ratios.len() as f64 * 0.9) as usize % ratios.len()])
+        );
+        let _ = writeln!(
+            out,
+            "      \"cost_ratio_vs_dp_max\": {}",
+            json_f(ratios.last().copied().unwrap_or(f64::NAN))
+        );
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if pi + 1 < reports.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_planner.json", &out).expect("write BENCH_planner.json");
+    println!("{out}");
+    eprintln!(
+        "wrote BENCH_planner.json in {:.1}s",
+        t_total.elapsed().as_secs_f64()
+    );
+}

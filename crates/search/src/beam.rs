@@ -1,0 +1,279 @@
+//! Width-`k` beam search over join forests.
+//!
+//! This is the inference procedure of Balsa's agent (§5): states are
+//! forests of disjoint partial plans; each step joins two connected
+//! trees with a physical operator; the beam keeps the `k` best-scoring
+//! states per level and a complete plan emerges after `n-1` steps. Here
+//! the scoring function is a classical [`CostModel`]; the learned value
+//! network will later slot into exactly this position. Candidate moves
+//! come from the same [`CandidateSpace`] as the DP enumerator, so beam
+//! search explores a subset of the DP space and its best plan's cost is
+//! bounded below by the DP optimum.
+//!
+//! Scan operators are decided lazily: a leaf enters the initial forest
+//! as its cheapest scan, and every join step re-considers all scan
+//! candidates for leaf inputs (mirroring how the paper's agent picks
+//! scans as part of each join action).
+
+use crate::candidates::CandidateSpace;
+use crate::{MemoEstimator, PlannedQuery, Planner, SearchMode, SearchStats};
+use balsa_card::CardEstimator;
+use balsa_cost::{CostModel, SubtreeCost};
+use balsa_query::{Plan, Query};
+use balsa_storage::Database;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One partial plan in a forest.
+#[derive(Clone)]
+struct Tree {
+    plan: Arc<Plan>,
+    sc: SubtreeCost,
+}
+
+/// One beam state: a forest of disjoint trees covering all tables.
+#[derive(Clone)]
+struct State {
+    trees: Vec<Tree>,
+    /// Sum of tree costs — the beam score (lower is better).
+    total: f64,
+}
+
+impl State {
+    /// Canonical signature for deduplication: sorted tree fingerprints.
+    fn signature(&self) -> Vec<u64> {
+        let mut sig: Vec<u64> = self.trees.iter().map(|t| t.plan.fingerprint()).collect();
+        sig.sort_unstable();
+        sig
+    }
+}
+
+/// The width-`k` beam-search planner.
+pub struct BeamPlanner<'a> {
+    db: &'a Database,
+    cost: &'a dyn CostModel,
+    est: &'a dyn CardEstimator,
+    mode: SearchMode,
+    width: usize,
+}
+
+impl<'a> BeamPlanner<'a> {
+    /// Creates a beam planner with beam width `width` (≥ 1).
+    pub fn new(
+        db: &'a Database,
+        cost: &'a dyn CostModel,
+        est: &'a dyn CardEstimator,
+        mode: SearchMode,
+        width: usize,
+    ) -> Self {
+        assert!(width >= 1, "beam width must be at least 1");
+        Self {
+            db,
+            cost,
+            est,
+            mode,
+            width,
+        }
+    }
+
+    /// Scan variants for a tree: leaves re-open their scan choice (from
+    /// the precomputed per-table candidates), inner trees are kept as-is.
+    fn variants<'t>(&self, scan_variants: &'t [Vec<Tree>], tree: &'t Tree) -> &'t [Tree] {
+        match &*tree.plan {
+            Plan::Scan { qt, .. } => &scan_variants[*qt as usize],
+            Plan::Join { .. } => std::slice::from_ref(tree),
+        }
+    }
+}
+
+impl Planner for BeamPlanner<'_> {
+    fn name(&self) -> String {
+        let shape = match self.mode {
+            SearchMode::Bushy => "bushy",
+            SearchMode::LeftDeep => "leftdeep",
+        };
+        format!("beam{}-{}/{}", self.width, shape, self.cost.name())
+    }
+
+    fn plan(&self, query: &Query) -> PlannedQuery {
+        let start = Instant::now();
+        let n = query.num_tables();
+        assert!(n >= 1, "query has no tables");
+        let space = CandidateSpace::new(self.db, query, self.mode);
+        let memo = MemoEstimator::new(self.est);
+        let mut stats = SearchStats::default();
+
+        // Scan candidates are state-independent: cost them once per table.
+        let scan_variants: Vec<Vec<Tree>> = (0..n)
+            .map(|qt| {
+                space
+                    .scan_plans(qt)
+                    .into_iter()
+                    .map(|p| {
+                        stats.candidates += 1;
+                        let sc = self.cost.scan_summary(query, &p, &memo);
+                        Tree { plan: p, sc }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Initial forest: each table as its cheapest scan candidate.
+        let leaves: Vec<Tree> = scan_variants
+            .iter()
+            .map(|vs| {
+                vs.iter()
+                    .min_by(|a, b| a.sc.work.partial_cmp(&b.sc.work).expect("finite"))
+                    .expect("at least one scan candidate")
+                    .clone()
+            })
+            .collect();
+        let total = leaves.iter().map(|t| t.sc.work).sum();
+        let mut beam = vec![State {
+            trees: leaves,
+            total,
+        }];
+        stats.states += 1;
+
+        for _level in 0..n.saturating_sub(1) {
+            let mut next: Vec<State> = Vec::new();
+            let mut seen: HashSet<Vec<u64>> = HashSet::new();
+            for state in &beam {
+                let m = state.trees.len();
+                for i in 0..m {
+                    for j in 0..m {
+                        if i == j
+                            || !query
+                                .connected(state.trees[i].plan.mask(), state.trees[j].plan.mask())
+                        {
+                            continue;
+                        }
+                        let lvs = self.variants(&scan_variants, &state.trees[i]);
+                        let rvs = self.variants(&scan_variants, &state.trees[j]);
+                        for lv in lvs {
+                            for rv in rvs {
+                                if !space.allows_join(&lv.plan, &rv.plan) {
+                                    continue;
+                                }
+                                for &op in space.join_ops() {
+                                    let plan = Plan::join(op, lv.plan.clone(), rv.plan.clone());
+                                    let sc =
+                                        self.cost.join_summary(query, &plan, &lv.sc, &rv.sc, &memo);
+                                    stats.candidates += 1;
+                                    let mut trees: Vec<Tree> = state
+                                        .trees
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(k, _)| *k != i && *k != j)
+                                        .map(|(_, t)| t.clone())
+                                        .collect();
+                                    let joined = Tree { plan, sc };
+                                    let total = trees.iter().map(|t| t.sc.work).sum::<f64>()
+                                        + joined.sc.work;
+                                    trees.push(joined);
+                                    let cand = State { trees, total };
+                                    if seen.insert(cand.signature()) {
+                                        next.push(cand);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(
+                !next.is_empty(),
+                "beam stuck on {} (disconnected join graph?)",
+                query.name
+            );
+            next.sort_by(|a, b| a.total.partial_cmp(&b.total).expect("finite scores"));
+            next.truncate(self.width);
+            stats.states += next.len();
+            beam = next;
+        }
+
+        let best = &beam[0];
+        assert_eq!(best.trees.len(), 1, "beam must end with a single tree");
+        let tree = &best.trees[0];
+        PlannedQuery {
+            plan: tree.plan.clone(),
+            cost: tree.sc.work,
+            stats,
+            planning_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DpPlanner;
+    use balsa_card::HistogramEstimator;
+    use balsa_cost::{ExpertCostModel, OpWeights};
+    use balsa_query::workloads::job_workload;
+    use balsa_storage::{mini_imdb, DataGenConfig};
+
+    fn fixture() -> (Arc<Database>, balsa_query::Workload) {
+        let db = Arc::new(mini_imdb(DataGenConfig {
+            scale: 0.02,
+            ..Default::default()
+        }));
+        let w = job_workload(db.catalog(), 7);
+        (db, w)
+    }
+
+    #[test]
+    fn beam_produces_valid_complete_plans() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        for q in w.queries.iter().take(4) {
+            let beam = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 5);
+            let out = beam.plan(q);
+            assert_eq!(out.plan.mask(), q.all_mask(), "{}", q.name);
+            let recost = model.plan_cost(q, &out.plan, &est);
+            assert!((out.cost - recost).abs() <= 1e-6 * recost.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn beam_never_beats_dp() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        for q in w.queries.iter().filter(|q| q.num_tables() <= 9).take(5) {
+            let dp = DpPlanner::new(&db, &model, &est, SearchMode::Bushy).plan(q);
+            let bm = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 10).plan(q);
+            assert!(
+                bm.cost >= dp.cost * (1.0 - 1e-9),
+                "{}: beam {} below dp optimum {}",
+                q.name,
+                bm.cost,
+                dp.cost
+            );
+        }
+    }
+
+    #[test]
+    fn wider_beams_do_no_worse() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        let q = w.queries.iter().find(|q| q.num_tables() >= 6).unwrap();
+        let narrow = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 1).plan(q);
+        let wide = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 20).plan(q);
+        assert!(wide.cost <= narrow.cost * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn left_deep_beam_is_left_deep() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::commdb_like());
+        for q in w.queries.iter().take(4) {
+            let out = BeamPlanner::new(&db, &model, &est, SearchMode::LeftDeep, 5).plan(q);
+            assert!(out.plan.is_left_deep(), "{}: {}", q.name, out.plan);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The exhaustive System-R-style dynamic-programming enumerator.
+//!
+//! Classical bottom-up join enumeration over [`TableMask`] subsets
+//! (Selinger 1979), the expert baseline the paper compares Balsa
+//! against. For every connected table subset the planner keeps a
+//! **Pareto set** of entries keyed by output order — the "interesting
+//! orders" of System R — because a subplan that streams in a join key's
+//! order can make a later merge join skip its sort. Entry `A` dominates
+//! entry `B` iff `A` costs no more *and* offers a superset of `B`'s
+//! orders; join cost is additive in child cost and monotone in child
+//! orders, so pruning dominated entries never loses the optimum and the
+//! chosen plan matches brute-force enumeration exactly.
+//!
+//! Both hint spaces are supported: [`SearchMode::Bushy`] enumerates all
+//! connected-subgraph/complement pairs, [`SearchMode::LeftDeep`] only
+//! splits off single tables (CommDbSim, §8.2).
+
+use crate::candidates::CandidateSpace;
+use crate::{MemoEstimator, PlannedQuery, Planner, SearchMode, SearchStats};
+use balsa_card::CardEstimator;
+use balsa_cost::{CostModel, SubtreeCost};
+use balsa_query::{Plan, Query, TableMask};
+use balsa_storage::Database;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One Pareto entry: the cheapest known subplan producing its exact
+/// output-order set.
+struct Entry {
+    plan: Arc<Plan>,
+    sc: SubtreeCost,
+    orders: BTreeSet<(usize, usize)>,
+}
+
+/// Inserts `cand` into the Pareto set, dropping dominated entries.
+/// Returns whether the candidate survived.
+fn pareto_insert(entries: &mut Vec<Entry>, cand: Entry) -> bool {
+    for e in entries.iter() {
+        if e.sc.work <= cand.sc.work && e.orders.is_superset(&cand.orders) {
+            return false;
+        }
+    }
+    entries.retain(|e| !(cand.sc.work <= e.sc.work && cand.orders.is_superset(&e.orders)));
+    entries.push(cand);
+    true
+}
+
+fn order_key(sc: &SubtreeCost) -> BTreeSet<(usize, usize)> {
+    sc.sorted_on.iter().copied().collect()
+}
+
+/// The exhaustive dynamic-programming planner.
+pub struct DpPlanner<'a> {
+    db: &'a Database,
+    cost: &'a dyn CostModel,
+    est: &'a dyn CardEstimator,
+    mode: SearchMode,
+}
+
+impl<'a> DpPlanner<'a> {
+    /// Creates a DP planner scoring plans with `cost` over `est`.
+    pub fn new(
+        db: &'a Database,
+        cost: &'a dyn CostModel,
+        est: &'a dyn CardEstimator,
+        mode: SearchMode,
+    ) -> Self {
+        Self {
+            db,
+            cost,
+            est,
+            mode,
+        }
+    }
+}
+
+impl Planner for DpPlanner<'_> {
+    fn name(&self) -> String {
+        match self.mode {
+            SearchMode::Bushy => format!("dp-bushy/{}", self.cost.name()),
+            SearchMode::LeftDeep => format!("dp-leftdeep/{}", self.cost.name()),
+        }
+    }
+
+    fn plan(&self, query: &Query) -> PlannedQuery {
+        let start = Instant::now();
+        let n = query.num_tables();
+        assert!(n >= 1, "query has no tables");
+        let space = CandidateSpace::new(self.db, query, self.mode);
+        let memo = MemoEstimator::new(self.est);
+        let connected = space.connected_table();
+        let mut stats = SearchStats::default();
+
+        // table[mask] = Pareto set of subplans covering exactly `mask`.
+        let mut table: Vec<Vec<Entry>> = (0..1usize << n).map(|_| Vec::new()).collect();
+
+        // Base case: scan candidates per table.
+        for qt in 0..n {
+            for scan in space.scan_plans(qt) {
+                let sc = self.cost.scan_summary(query, &scan, &memo);
+                stats.candidates += 1;
+                let orders = order_key(&sc);
+                pareto_insert(
+                    &mut table[1usize << qt],
+                    Entry {
+                        plan: scan,
+                        sc,
+                        orders,
+                    },
+                );
+            }
+        }
+
+        // Bottom-up over subsets (ascending mask order visits every
+        // proper submask before its superset).
+        for mask in 1..1usize << n {
+            if !connected[mask] || (mask & (mask - 1)) == 0 {
+                continue; // disconnected or singleton
+            }
+            // Split the table so `cur` (at `mask`) is mutable while all
+            // smaller subsets stay readable.
+            let (lo, hi) = table.split_at_mut(mask);
+            let cur = &mut hi[0];
+            let combine = |left_mask: usize,
+                           right_mask: usize,
+                           lo: &[Vec<Entry>],
+                           cur: &mut Vec<Entry>,
+                           stats: &mut SearchStats| {
+                for le in &lo[left_mask] {
+                    for re in &lo[right_mask] {
+                        if !space.allows_join(&le.plan, &re.plan) {
+                            continue;
+                        }
+                        for &op in space.join_ops() {
+                            let plan = Plan::join(op, le.plan.clone(), re.plan.clone());
+                            let sc = self.cost.join_summary(query, &plan, &le.sc, &re.sc, &memo);
+                            stats.candidates += 1;
+                            let orders = order_key(&sc);
+                            pareto_insert(cur, Entry { plan, sc, orders });
+                        }
+                    }
+                }
+            };
+            match self.mode {
+                SearchMode::Bushy => {
+                    // All ordered (submask, complement) pairs; both sides
+                    // connected implies a crossing edge exists.
+                    let mut a = (mask - 1) & mask;
+                    while a != 0 {
+                        let b = mask & !a;
+                        if connected[a] && connected[b] {
+                            combine(a, b, lo, cur, &mut stats);
+                        }
+                        a = (a - 1) & mask;
+                    }
+                }
+                SearchMode::LeftDeep => {
+                    for t in TableMask(mask as u32).iter() {
+                        let rest = mask & !(1usize << t);
+                        if connected[rest] {
+                            combine(rest, 1usize << t, lo, cur, &mut stats);
+                        }
+                    }
+                }
+            }
+        }
+
+        stats.states = table.iter().map(Vec::len).sum();
+        let full = (1usize << n) - 1;
+        let best = table[full]
+            .iter()
+            .min_by(|a, b| a.sc.work.partial_cmp(&b.sc.work).expect("finite costs"))
+            .unwrap_or_else(|| panic!("no plan for {} (disconnected join graph?)", query.name));
+        PlannedQuery {
+            plan: best.plan.clone(),
+            cost: best.sc.work,
+            stats,
+            planning_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balsa_card::HistogramEstimator;
+    use balsa_cost::{CoutModel, ExpertCostModel, OpWeights};
+    use balsa_query::workloads::job_workload;
+    use balsa_storage::{mini_imdb, DataGenConfig};
+
+    fn fixture() -> (Arc<Database>, balsa_query::Workload) {
+        let db = Arc::new(mini_imdb(DataGenConfig {
+            scale: 0.02,
+            ..Default::default()
+        }));
+        let w = job_workload(db.catalog(), 7);
+        (db, w)
+    }
+
+    #[test]
+    fn dp_produces_valid_complete_plans() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        for q in w.queries.iter().take(6) {
+            let dp = DpPlanner::new(&db, &model, &est, SearchMode::Bushy);
+            let out = dp.plan(q);
+            assert_eq!(out.plan.mask(), q.all_mask(), "{}", q.name);
+            assert!(out.cost.is_finite() && out.cost > 0.0);
+            assert!(out.stats.candidates > 0);
+            // Reported cost must equal an independent full re-cost.
+            let recost = model.plan_cost(q, &out.plan, &est);
+            assert!(
+                (out.cost - recost).abs() <= 1e-6 * recost.abs().max(1.0),
+                "{}: dp cost {} != recost {}",
+                q.name,
+                out.cost,
+                recost
+            );
+        }
+    }
+
+    #[test]
+    fn left_deep_mode_yields_left_deep_plans() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::commdb_like());
+        for q in w.queries.iter().take(6) {
+            let dp = DpPlanner::new(&db, &model, &est, SearchMode::LeftDeep);
+            let out = dp.plan(q);
+            assert!(out.plan.is_left_deep(), "{}: {}", q.name, out.plan);
+            assert_eq!(out.plan.mask(), q.all_mask());
+        }
+    }
+
+    #[test]
+    fn bushy_space_never_worse_than_left_deep() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        for q in w.queries.iter().take(6) {
+            let bushy = DpPlanner::new(&db, &model, &est, SearchMode::Bushy).plan(q);
+            let ld = DpPlanner::new(&db, &model, &est, SearchMode::LeftDeep).plan(q);
+            assert!(
+                bushy.cost <= ld.cost * (1.0 + 1e-9),
+                "{}: bushy {} > left-deep {}",
+                q.name,
+                bushy.cost,
+                ld.cost
+            );
+        }
+    }
+
+    #[test]
+    fn dp_works_with_cout_model() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = CoutModel;
+        let q = &w.queries[0];
+        let out = DpPlanner::new(&db, &model, &est, SearchMode::Bushy).plan(q);
+        let recost = model.plan_cost(q, &out.plan, &est);
+        assert!((out.cost - recost).abs() <= 1e-9 * recost.max(1.0));
+    }
+
+    #[test]
+    fn pareto_insert_dominance() {
+        let mk = |work: f64, orders: &[(usize, usize)]| Entry {
+            plan: Plan::scan(0, balsa_query::ScanOp::Seq),
+            sc: SubtreeCost {
+                work,
+                out_rows: 1.0,
+                sorted_on: orders.to_vec(),
+            },
+            orders: orders.iter().copied().collect(),
+        };
+        let mut v = Vec::new();
+        assert!(pareto_insert(&mut v, mk(10.0, &[])));
+        // Cheaper, same orders: replaces.
+        assert!(pareto_insert(&mut v, mk(8.0, &[])));
+        assert_eq!(v.len(), 1);
+        // More expensive but more orders: kept.
+        assert!(pareto_insert(&mut v, mk(9.0, &[(0, 1)])));
+        assert_eq!(v.len(), 2);
+        // More expensive, no orders: dominated.
+        assert!(!pareto_insert(&mut v, mk(8.5, &[])));
+        // Cheaper with the same orders as the ordered entry: replaces it
+        // AND dominates the plain one.
+        assert!(pareto_insert(&mut v, mk(7.0, &[(0, 1)])));
+        assert_eq!(v.len(), 1);
+    }
+}

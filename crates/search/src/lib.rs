@@ -1,0 +1,172 @@
+//! # balsa-search
+//!
+//! The planning layer of balsa-rs: search procedures that turn a
+//! [`balsa_query::Query`] into a physical [`Plan`], scored through the
+//! [`balsa_cost::CostModel`] + [`balsa_card::CardEstimator`] traits.
+//!
+//! * [`DpPlanner`] — an exhaustive System-R-style dynamic program over
+//!   [`TableMask`] subsets (connected-subgraph pairs only; cross products
+//!   are outside the search space, §7 of the paper). It keeps a Pareto
+//!   set of (cost, output-order) entries per subset, so interesting
+//!   orders are handled exactly: on compositional cost models its chosen
+//!   plan provably matches brute-force enumeration. Driven by the expert
+//!   cost model on estimated cardinalities it is the classical expert
+//!   optimizer baseline; on true cardinalities it is the oracle planner.
+//! * [`BeamPlanner`] — width-`k` best-first beam search over the same
+//!   candidate-generation core ([`CandidateSpace`]), the inference
+//!   procedure Balsa's learned value model will later drive (§5).
+//! * [`RandomPlanner`] — uniform random valid plans, the exploration /
+//!   sanity baseline.
+//!
+//! Both search modes of the paper's two engines are supported:
+//! [`SearchMode::Bushy`] (PostgresSim hints) and [`SearchMode::LeftDeep`]
+//! (CommDbSim's ~1000x smaller hint space, §8.2).
+
+pub mod beam;
+pub mod candidates;
+pub mod dp;
+pub mod random;
+
+pub use beam::BeamPlanner;
+pub use candidates::CandidateSpace;
+pub use dp::DpPlanner;
+pub use random::{random_plan, RandomPlanner};
+
+use balsa_card::CardEstimator;
+use balsa_query::{Plan, Query, TableMask};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which plan shapes the search may produce, mirroring the hint spaces
+/// of the two engines (§8.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchMode {
+    /// Arbitrary binary join trees (PostgresSim).
+    Bushy,
+    /// Every join's right input is a base table (CommDbSim).
+    LeftDeep,
+}
+
+impl SearchMode {
+    /// The mode matching an engine's hint space.
+    pub fn for_bushy_hints(bushy_hints: bool) -> Self {
+        if bushy_hints {
+            SearchMode::Bushy
+        } else {
+            SearchMode::LeftDeep
+        }
+    }
+}
+
+/// Search effort counters reported by a planner run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Distinct states retained (DP subset entries / beam states).
+    pub states: usize,
+    /// Candidate plans generated and scored.
+    pub candidates: usize,
+}
+
+/// A planner's answer for one query.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The chosen complete plan.
+    pub plan: Arc<Plan>,
+    /// Its cost under the planner's cost model.
+    pub cost: f64,
+    /// Search effort spent.
+    pub stats: SearchStats,
+    /// Measured wall-clock planning time in seconds (feed this to
+    /// `SimClock::charge_planning` / `ExecutionEnv::charge_planning`).
+    pub planning_secs: f64,
+}
+
+/// A planner maps queries to physical plans.
+pub trait Planner {
+    /// Planner name for reports, e.g. `"dp-bushy"` or `"beam10-leftdeep"`.
+    fn name(&self) -> String;
+
+    /// Plans `query`.
+    ///
+    /// # Panics
+    /// Panics if the query's join graph is disconnected or has more
+    /// tables than the search supports (the workload generators only
+    /// produce valid queries).
+    fn plan(&self, query: &Query) -> PlannedQuery;
+}
+
+/// A per-query memoizing wrapper around a [`CardEstimator`].
+///
+/// Planners ask for the same subset cardinalities thousands of times;
+/// this caches them by [`TableMask`]. The cache is keyed by mask only,
+/// so one `MemoEstimator` must serve exactly one query.
+pub struct MemoEstimator<'a> {
+    inner: &'a dyn CardEstimator,
+    cards: Mutex<HashMap<u32, f64>>,
+}
+
+impl<'a> MemoEstimator<'a> {
+    /// Wraps `inner` for use with a single query.
+    pub fn new(inner: &'a dyn CardEstimator) -> Self {
+        Self {
+            inner,
+            cards: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl CardEstimator for MemoEstimator<'_> {
+    fn cardinality(&self, query: &Query, mask: TableMask) -> f64 {
+        if let Some(&c) = self.cards.lock().get(&mask.0) {
+            return c;
+        }
+        let c = self.inner.cardinality(query, mask);
+        self.cards.lock().insert(mask.0, c);
+        c
+    }
+
+    fn base_rows(&self, query: &Query, qt: usize) -> f64 {
+        self.inner.base_rows(query, qt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(std::sync::atomic::AtomicUsize);
+    impl CardEstimator for Counting {
+        fn cardinality(&self, _q: &Query, m: TableMask) -> f64 {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            m.count() as f64
+        }
+        fn base_rows(&self, _q: &Query, _qt: usize) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn memo_estimator_caches() {
+        let inner = Counting(std::sync::atomic::AtomicUsize::new(0));
+        let memo = MemoEstimator::new(&inner);
+        let q = Query {
+            id: 0,
+            name: "q".into(),
+            template: 0,
+            tables: vec![],
+            joins: vec![],
+            filters: vec![],
+        };
+        let m = TableMask(0b11);
+        assert_eq!(memo.cardinality(&q, m), 2.0);
+        assert_eq!(memo.cardinality(&q, m), 2.0);
+        assert_eq!(inner.0.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn mode_for_profile() {
+        assert_eq!(SearchMode::for_bushy_hints(true), SearchMode::Bushy);
+        assert_eq!(SearchMode::for_bushy_hints(false), SearchMode::LeftDeep);
+    }
+}

@@ -105,16 +105,14 @@ impl TableBuilder {
 
     fn pk(mut self, name: &str, n: usize) -> Self {
         self.primary_key = Some(self.cols.len());
-        self.cols.push((
-            name.to_string(),
-            Column::new((0..n as i64).collect()),
-            true,
-        ));
+        self.cols
+            .push((name.to_string(), Column::new((0..n as i64).collect()), true));
         self
     }
 
     fn col(mut self, name: &str, data: Vec<i64>, indexed: bool) -> Self {
-        self.cols.push((name.to_string(), Column::new(data), indexed));
+        self.cols
+            .push((name.to_string(), Column::new(data), indexed));
         self
     }
 
@@ -266,9 +264,7 @@ pub fn mini_imdb(cfg: DataGenConfig) -> Database {
         .col("gender", n_gender, false)
         .col(
             "name_pcode_cf",
-            (0..n_name)
-                .map(|_| rng.random_range(0..500i64))
-                .collect(),
+            (0..n_name).map(|_| rng.random_range(0..500i64)).collect(),
             false,
         )
         .finish(&mut catalog, &mut tables);
@@ -299,11 +295,7 @@ pub fn mini_imdb(cfg: DataGenConfig) -> Database {
 
     let keyword = TableBuilder::new("keyword")
         .pk("id", n_keyword)
-        .col(
-            "keyword",
-            (0..n_keyword as i64).collect(),
-            false,
-        )
+        .col("keyword", (0..n_keyword as i64).collect(), false)
         .finish(&mut catalog, &mut tables);
 
     // ---- cast_info: zipfian movie fan-out; role correlates with gender ----
@@ -661,9 +653,7 @@ pub fn mini_tpch(cfg: DataGenConfig) -> Database {
         .col("c_nationkey", c_nation, true)
         .col(
             "c_mktsegment",
-            (0..n_customer)
-                .map(|_| rng.random_range(0..5i64))
-                .collect(),
+            (0..n_customer).map(|_| rng.random_range(0..5i64)).collect(),
             false,
         )
         .finish(&mut catalog, &mut tables);
@@ -924,7 +914,11 @@ mod tests {
         let tid = db.catalog().table_id("title").unwrap();
         let st = db.stats(tid);
         assert_eq!(st.num_rows, db.table(tid).num_rows() as u64);
-        let year = db.catalog().table(tid).column_id("production_year").unwrap();
+        let year = db
+            .catalog()
+            .table(tid)
+            .column_id("production_year")
+            .unwrap();
         assert!(st.columns[year].ndv > 10);
         assert!(!st.columns[year].histogram.bounds.is_empty());
     }

@@ -84,8 +84,13 @@ impl Histogram {
         if hi < lo {
             return 0.0;
         }
-        (self.fraction_le(hi) - if lo == i64::MIN { 0.0 } else { self.fraction_le(lo - 1) })
-            .max(0.0)
+        (self.fraction_le(hi)
+            - if lo == i64::MIN {
+                0.0
+            } else {
+                self.fraction_le(lo - 1)
+            })
+        .max(0.0)
     }
 
     /// Minimum observed value (None when empty).

@@ -1,0 +1,13 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits plus the no-op
+//! derive macros from the sibling `serde_derive` shim (trait and macro
+//! share a name in different namespaces, exactly like real serde).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! Nothing in the workspace serializes yet, so `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` only need to be *accepted*, not to
+//! generate impls. See `vendor/README.md` for the upgrade path.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
