@@ -1,6 +1,8 @@
 //! The estimator abstraction shared by cost models and the engine.
 
 use balsa_query::{Query, TableMask};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 
 /// A cardinality for one table subset of one query.
 pub type SubsetCard = f64;
@@ -36,4 +38,39 @@ pub trait CardEstimator: Send + Sync {
 
     /// Unfiltered row count of query-table `qt`.
     fn base_rows(&self, query: &Query, qt: usize) -> f64;
+}
+
+/// A per-query memoizing wrapper around a [`CardEstimator`].
+///
+/// Planners and scorers ask for the same subset cardinalities thousands
+/// of times; this caches them by [`TableMask`]. The cache is keyed by
+/// mask only, so one `MemoEstimator` must serve exactly one query.
+pub struct MemoEstimator<'a> {
+    inner: &'a dyn CardEstimator,
+    cards: Mutex<HashMap<u32, f64>>,
+}
+
+impl<'a> MemoEstimator<'a> {
+    /// Wraps `inner` for use with a single query.
+    pub fn new(inner: &'a dyn CardEstimator) -> Self {
+        Self {
+            inner,
+            cards: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl CardEstimator for MemoEstimator<'_> {
+    fn cardinality(&self, query: &Query, mask: TableMask) -> f64 {
+        if let Some(&c) = self.cards.lock().get(&mask.0) {
+            return c;
+        }
+        let c = self.inner.cardinality(query, mask);
+        self.cards.lock().insert(mask.0, c);
+        c
+    }
+
+    fn base_rows(&self, query: &Query, qt: usize) -> f64 {
+        self.inner.base_rows(query, qt)
+    }
 }

@@ -21,6 +21,6 @@ pub mod estimator;
 pub mod histogram;
 pub mod noisy;
 
-pub use estimator::{CardEstimator, SubsetCard};
+pub use estimator::{CardEstimator, MemoEstimator, SubsetCard};
 pub use histogram::HistogramEstimator;
 pub use noisy::NoisyEstimator;

@@ -20,16 +20,23 @@
 //! All models implement [`CostModel`] and are parameterized by a
 //! [`balsa_card::CardEstimator`], so estimated/true/noisy cardinalities
 //! can be swapped freely (used by the §10 noise study).
+//!
+//! The [`scorer`] module defines [`PlanScorer`], the generic scoring
+//! interface the beam search consumes; [`CostScorer`] adapts any
+//! `CostModel` to it, and `balsa-learn` plugs its learned value model
+//! into the same slot.
 
 pub mod cmm;
 pub mod cout;
 pub mod expert;
 pub mod physical;
+pub mod scorer;
 
 pub use cmm::CmmModel;
 pub use cout::CoutModel;
 pub use expert::ExpertCostModel;
 pub use physical::{join_cost, physical_cost, scan_cost, NodeCost, OpWeights, SubtreeCost};
+pub use scorer::{CostScorer, PlanScorer, QueryScorer, ScoredTree};
 
 use balsa_card::CardEstimator;
 use balsa_query::{Plan, Query};

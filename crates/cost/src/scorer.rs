@@ -1,0 +1,164 @@
+//! The generic plan-scoring layer.
+//!
+//! Everything that ranks partial plans — the expert cost model, the
+//! `C_out` simulator, and `balsa-learn`'s learned value model — does so
+//! through one interface: a [`PlanScorer`] opens a per-query
+//! [`QueryScorer`] session, and the session assigns every scan leaf and
+//! every candidate join a [`ScoredTree`]. Beam search (and any other
+//! consumer of the shared candidate space) is written against this
+//! interface only, so the same inference procedure runs on classical
+//! costs, on simulated `C_out`, or on a learned value function — the
+//! paper's architecture, where the value network "slots into exactly the
+//! position" of the cost model (§5).
+//!
+//! [`CostScorer`] adapts any [`CostModel`] + [`CardEstimator`] pair to
+//! the interface: the beam score is simply the compositional subtree
+//! work, memoizing subset cardinalities per query.
+
+use crate::{CostModel, SubtreeCost};
+use balsa_card::{CardEstimator, MemoEstimator};
+use balsa_query::{Plan, Query};
+
+/// A scored subtree: the scorer's ranking value plus the compositional
+/// physical summary threaded through joins.
+#[derive(Debug, Clone, Default)]
+pub struct ScoredTree {
+    /// The beam-ranking score; lower is better. Cost scorers report the
+    /// subtree's work, learned scorers a predicted latency.
+    pub score: f64,
+    /// Compositional physical summary (output rows, orders, work) that
+    /// child-aware scorers use when composing joins.
+    pub sc: SubtreeCost,
+}
+
+/// A source of plan scores. `Send + Sync` so training loops can share
+/// one scorer across planner instances.
+pub trait PlanScorer: Send + Sync {
+    /// Scorer name for planner reports, e.g. `"expert"` or
+    /// `"learned/linear"`.
+    fn name(&self) -> String;
+
+    /// Opens a scoring session for one query. Sessions own per-query
+    /// caches (memoized cardinalities, query-level feature channels).
+    fn for_query<'q>(&'q self, query: &'q Query) -> Box<dyn QueryScorer + 'q>;
+}
+
+/// A per-query scoring session.
+pub trait QueryScorer {
+    /// Scores a scan leaf (a [`Plan::Scan`]).
+    fn score_scan(&self, scan: &Plan) -> ScoredTree;
+
+    /// Scores `join` (a [`Plan::Join`]) given its children's scored
+    /// subtrees. Must agree with what scoring the same tree from its
+    /// leaves upward produces.
+    fn score_join(&self, join: &Plan, lc: &ScoredTree, rc: &ScoredTree) -> ScoredTree;
+}
+
+/// Adapts a [`CostModel`] over a [`CardEstimator`] to the [`PlanScorer`]
+/// interface: the score of a subtree is its compositional cost-model
+/// work.
+pub struct CostScorer<'a> {
+    cost: &'a dyn CostModel,
+    est: &'a dyn CardEstimator,
+}
+
+impl<'a> CostScorer<'a> {
+    /// Scores plans by `cost` evaluated on `est`'s cardinalities.
+    pub fn new(cost: &'a dyn CostModel, est: &'a dyn CardEstimator) -> Self {
+        Self { cost, est }
+    }
+}
+
+impl PlanScorer for CostScorer<'_> {
+    fn name(&self) -> String {
+        self.cost.name().to_string()
+    }
+
+    fn for_query<'q>(&'q self, query: &'q Query) -> Box<dyn QueryScorer + 'q> {
+        Box::new(CostQueryScorer {
+            cost: self.cost,
+            query,
+            memo: MemoEstimator::new(self.est),
+        })
+    }
+}
+
+struct CostQueryScorer<'q> {
+    cost: &'q dyn CostModel,
+    query: &'q Query,
+    memo: MemoEstimator<'q>,
+}
+
+impl QueryScorer for CostQueryScorer<'_> {
+    fn score_scan(&self, scan: &Plan) -> ScoredTree {
+        let sc = self.cost.scan_summary(self.query, scan, &self.memo);
+        ScoredTree { score: sc.work, sc }
+    }
+
+    fn score_join(&self, join: &Plan, lc: &ScoredTree, rc: &ScoredTree) -> ScoredTree {
+        let sc = self
+            .cost
+            .join_summary(self.query, join, &lc.sc, &rc.sc, &self.memo);
+        ScoredTree { score: sc.work, sc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoutModel;
+    use balsa_query::{JoinEdge, JoinOp, QueryTable, ScanOp, TableMask};
+
+    struct Fixed;
+    impl CardEstimator for Fixed {
+        fn cardinality(&self, _q: &Query, m: TableMask) -> f64 {
+            match m.0 {
+                0b01 => 10.0,
+                0b10 => 20.0,
+                _ => 5.0,
+            }
+        }
+        fn base_rows(&self, _q: &Query, _qt: usize) -> f64 {
+            100.0
+        }
+    }
+
+    fn query2() -> Query {
+        Query {
+            id: 0,
+            name: "q".into(),
+            template: 0,
+            tables: (0..2)
+                .map(|i| QueryTable {
+                    table: 0,
+                    alias: format!("t{i}"),
+                })
+                .collect(),
+            joins: vec![JoinEdge {
+                left_qt: 0,
+                left_col: 0,
+                right_qt: 1,
+                right_col: 0,
+            }],
+            filters: vec![],
+        }
+    }
+
+    #[test]
+    fn cost_scorer_matches_plan_cost() {
+        let q = query2();
+        let model = CoutModel;
+        let scorer = CostScorer::new(&model, &Fixed);
+        assert_eq!(scorer.name(), "C_out");
+        let session = scorer.for_query(&q);
+        let a = Plan::scan(0, ScanOp::Seq);
+        let b = Plan::scan(1, ScanOp::Seq);
+        let sa = session.score_scan(&a);
+        let sb = session.score_scan(&b);
+        let j = Plan::join(JoinOp::Hash, a, b);
+        let sj = session.score_join(&j, &sa, &sb);
+        let direct = model.plan_cost(&q, &j, &Fixed);
+        assert!((sj.score - direct).abs() < 1e-9, "{} vs {direct}", sj.score);
+        assert_eq!(sj.sc.out_rows, 5.0);
+    }
+}

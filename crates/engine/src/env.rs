@@ -22,7 +22,7 @@
 use crate::profile::EngineProfile;
 use crate::sim_clock::SimClock;
 use crate::truecard::{query_key, TrueCards};
-use balsa_cost::physical_cost;
+use balsa_cost::{join_cost, physical_cost, scan_cost, SubtreeCost};
 use balsa_query::{Plan, Query};
 use balsa_storage::Database;
 use parking_lot::Mutex;
@@ -73,6 +73,22 @@ pub struct ExecOutcome {
 struct CachedRun {
     latency_secs: f64,
     work: f64,
+}
+
+/// One subtree's observed latency from a labeled execution
+/// ([`ExecutionEnv::execute_labeled`]) — the per-subplan experience the
+/// learning loop records (§3.2's data augmentation over "each subplan
+/// T' of T", with §4.3 timeout censoring).
+#[derive(Debug, Clone)]
+pub struct SubtreeObs {
+    /// The subplan this observation labels.
+    pub plan: Arc<Plan>,
+    /// Observed subtree latency in seconds. When `censored`, this is the
+    /// timeout budget — a *lower bound* on the true latency, because the
+    /// execution was killed before the subtree finished.
+    pub latency_secs: f64,
+    /// Whether the label is a timeout-censored lower bound.
+    pub censored: bool,
 }
 
 /// The simulated execution environment of one engine.
@@ -226,6 +242,90 @@ impl ExecutionEnv {
         // Early termination: only the budget's worth of time elapses.
         self.clock.lock().charge_executions(&[outcome.latency_secs]);
         Ok(outcome)
+    }
+
+    /// Executes `plan` like [`ExecutionEnv::execute`] and additionally
+    /// returns one labeled observation per subtree (post-order, root
+    /// last) — the engine-side feedback of the learning loop.
+    ///
+    /// Each subtree is charged the same timing model as the whole plan
+    /// (its true-cardinality work, the profile's calibration, and the
+    /// run's noise factor), so the root observation equals the plan's
+    /// uncensored latency. When the run times out at budget `b`, every
+    /// subtree whose latency exceeds `b` is reported as `latency = b`
+    /// with `censored = true` — a lower bound, exactly what the killed
+    /// execution observed. Labels are deterministic and cost no extra
+    /// simulated time beyond what `execute` charges.
+    pub fn execute_labeled(
+        &self,
+        query: &Query,
+        plan: &Arc<Plan>,
+        timeout_secs: Option<f64>,
+    ) -> Result<(ExecOutcome, Vec<SubtreeObs>), EnvError> {
+        let outcome = self.execute(query, plan, timeout_secs)?;
+        let key = (query_key(query), plan.fingerprint());
+        let noise = self.noise_factor(key);
+        let mut works: Vec<(Arc<Plan>, f64)> = Vec::new();
+        self.subtree_works(query, plan, &mut works);
+        let labels = works
+            .into_iter()
+            .map(|(sub, work)| {
+                let raw = self.profile.startup_secs + work * self.profile.time_per_work * noise;
+                let censored = timeout_secs.is_some_and(|b| raw > b);
+                SubtreeObs {
+                    plan: sub,
+                    latency_secs: if censored {
+                        timeout_secs.expect("censored implies budget")
+                    } else {
+                        raw
+                    },
+                    censored,
+                }
+            })
+            .collect();
+        Ok((outcome, labels))
+    }
+
+    /// Total true-cardinality work of every subtree of `plan`, appended
+    /// post-order (children first, root last). Built from the same
+    /// `scan_cost`/`join_cost` builders as [`balsa_cost::physical_cost`],
+    /// so the root entry equals the work `execute` charges.
+    fn subtree_works(
+        &self,
+        query: &Query,
+        plan: &Arc<Plan>,
+        out: &mut Vec<(Arc<Plan>, f64)>,
+    ) -> SubtreeCost {
+        let db = self.truth.db();
+        let sc = match &**plan {
+            Plan::Scan { qt, op } => scan_cost(
+                db,
+                query,
+                *qt as usize,
+                *op,
+                &self.truth,
+                &self.profile.weights,
+            ),
+            Plan::Join {
+                op, left, right, ..
+            } => {
+                let lc = self.subtree_works(query, left, out);
+                let rc = self.subtree_works(query, right, out);
+                join_cost(
+                    db,
+                    query,
+                    *op,
+                    left,
+                    &lc,
+                    right,
+                    &rc,
+                    &self.truth,
+                    &self.profile.weights,
+                )
+            }
+        };
+        out.push((plan.clone(), sc.work));
+        sc
     }
 
     /// Applies the timeout policy to a (cached or fresh) run.
@@ -419,6 +519,54 @@ mod tests {
             env.execute(q, &partial, None),
             Err(EnvError::InvalidPlan(_))
         ));
+    }
+
+    #[test]
+    fn labeled_execution_covers_all_subtrees_and_root_matches() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::postgres_sim(db);
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let (out, labels) = env.execute_labeled(q, &p, None).unwrap();
+        assert_eq!(labels.len(), p.subplans().len());
+        // Post-order: root last, and its label equals the observed latency.
+        let root = labels.last().unwrap();
+        assert_eq!(root.plan.fingerprint(), p.fingerprint());
+        assert!((root.latency_secs - out.latency_secs).abs() < 1e-12);
+        assert!(labels.iter().all(|l| !l.censored));
+        // Subtree latencies are monotone under containment: every label
+        // is at most the root's (work only grows up the tree).
+        for l in &labels {
+            assert!(l.latency_secs <= root.latency_secs + 1e-12);
+            assert!(l.latency_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn labeled_timeout_censors_expensive_subtrees() {
+        let (db, w) = fixture();
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let full = ExecutionEnv::postgres_sim(db.clone())
+            .execute(q, &p, None)
+            .unwrap();
+        let budget = full.latency_secs * 0.6;
+        let env = ExecutionEnv::postgres_sim(db);
+        let (out, labels) = env.execute_labeled(q, &p, Some(budget)).unwrap();
+        assert!(out.timed_out);
+        let root = labels.last().unwrap();
+        assert!(root.censored, "root must be censored on timeout");
+        assert_eq!(root.latency_secs, budget);
+        // Censored labels sit exactly at the budget; uncensored ones below.
+        for l in &labels {
+            if l.censored {
+                assert_eq!(l.latency_secs, budget);
+            } else {
+                assert!(l.latency_secs <= budget);
+            }
+        }
+        // Cheap subtrees (single scans) finished within the budget.
+        assert!(labels.iter().any(|l| !l.censored));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod profile;
 pub mod sim_clock;
 pub mod truecard;
 
-pub use env::{EnvError, ExecOutcome, ExecutionEnv};
+pub use env::{EnvError, ExecOutcome, ExecutionEnv, SubtreeObs};
 pub use profile::EngineProfile;
 pub use sim_clock::SimClock;
-pub use truecard::TrueCards;
+pub use truecard::{query_key, TrueCards};

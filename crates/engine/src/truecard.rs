@@ -23,8 +23,9 @@ const INTERMEDIATE_BUDGET_SLOTS: usize = 24_000_000;
 
 /// Key identifying a query within the oracle's caches. Uses the query id
 /// and an FNV hash of the name, so distinct workloads can share an oracle.
-/// Shared with the execution environment's plan cache.
-pub(crate) fn query_key(q: &Query) -> u64 {
+/// Shared with the execution environment's plan cache and the experience
+/// buffer's (query, plan-fingerprint) dedup keys.
+pub fn query_key(q: &Query) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in q.name.bytes() {
         h = (h ^ b as u64).wrapping_mul(0x100000001b3);

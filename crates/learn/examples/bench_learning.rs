@@ -1,0 +1,214 @@
+//! Learning-loop benchmark: simulation pretraining + real-execution
+//! fine-tuning on the JOB-like random split, versus the expert DP
+//! baseline, measured in executed (true-cardinality) latencies.
+//!
+//! Writes `BENCH_learning.json` (hand-rolled JSON — the serde shim does
+//! not serialize; see vendor/README.md):
+//!
+//! * `expert_test_median_secs` — median executed latency of the expert
+//!   baseline (DP + expert cost model + histogram estimates) on the
+//!   held-out queries;
+//! * `final_test_median_secs` / `final_vs_expert_ratio` — the held-out
+//!   median of the **validation-selected checkpoint** (which may come
+//!   from an earlier iteration than the last; ratio ≤ 1.0 means the
+//!   learned value model matches or beats the expert);
+//! * `iterations[]` — the full per-iteration trajectory (`sim_hours`,
+//!   train/test medians, timeouts, buffer sizes, fit MSE).
+//!
+//! Run with: `cargo run --release -p balsa-learn --example bench_learning`
+//! Set `BALSA_SMOKE=1` for the CI smoke configuration (small scale, few
+//! iterations).
+
+use balsa_card::HistogramEstimator;
+use balsa_engine::ExecutionEnv;
+use balsa_learn::{
+    evaluate_expert_baseline, evaluate_learned, median, train_loop, Featurizer, SgdConfig,
+    TrainConfig,
+};
+use balsa_query::workloads::job_workload;
+use balsa_query::Split;
+use balsa_search::SearchMode;
+use balsa_storage::{mini_imdb, DataGenConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let t_total = Instant::now();
+    let smoke = std::env::var("BALSA_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let scale = if smoke { 0.05 } else { 1.0 };
+    let db = Arc::new(mini_imdb(DataGenConfig {
+        scale,
+        ..Default::default()
+    }));
+    let w = job_workload(db.catalog(), 7);
+    let split = Split::random(w.queries.len(), 19, 42);
+    let cfg = if smoke {
+        TrainConfig {
+            beam_width: 5,
+            sim_random_plans: 4,
+            iterations: 2,
+            pretrain_sgd: SgdConfig {
+                epochs: 20,
+                ..SgdConfig::default()
+            },
+            finetune_sgd: SgdConfig {
+                epochs: 10,
+                ..SgdConfig::default()
+            },
+            ..TrainConfig::default()
+        }
+    } else {
+        TrainConfig::default()
+    };
+
+    // Training environment (clock accrues planning + execution + SGD)
+    // and a twin for the frozen baselines.
+    let env = ExecutionEnv::postgres_sim(db.clone());
+    let baseline_env = ExecutionEnv::postgres_sim(db.clone());
+
+    let expert_test = evaluate_expert_baseline(&db, &baseline_env, &w, &split.test, cfg.mode);
+    let expert_train = evaluate_expert_baseline(&db, &baseline_env, &w, &split.train, cfg.mode);
+    let expert_test_median = median(&expert_test);
+    eprintln!(
+        "expert baseline: test median {:.4}s over {} held-out queries",
+        expert_test_median,
+        split.test.len()
+    );
+
+    let outcome = train_loop(&db, &env, &w, &split, &cfg);
+    for it in &outcome.trajectory {
+        eprintln!(
+            "iter {}: sim {:.2}h  train median {:.4}s  val median {:.4}s  test median {:.4}s  ({} timeouts, {} real exp, mse {:.3})",
+            it.iteration,
+            it.sim_hours,
+            it.train_median_secs,
+            it.val_median_secs,
+            it.test_median_secs,
+            it.timeouts,
+            it.buffer_real,
+            it.fit_mse
+        );
+    }
+    // Final score: the validation-selected checkpoint on held-out queries.
+    let featurizer = Featurizer::new(db.clone(), env.profile().weights, env.profile().bushy_hints);
+    let est = HistogramEstimator::new(&db);
+    let final_test = evaluate_learned(
+        &db,
+        &baseline_env,
+        &featurizer,
+        &outcome.model,
+        &est,
+        &w,
+        &split.test,
+        cfg.mode,
+        cfg.beam_width,
+    );
+    let final_test_median = median(&final_test);
+    let ratio = final_test_median / expert_test_median;
+    eprintln!(
+        "final (selected checkpoint) learned test median {:.4}s vs expert {:.4}s -> ratio {:.3}",
+        final_test_median, expert_test_median, ratio
+    );
+
+    // Hand-rolled JSON.
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"learning\",\n");
+    let _ = writeln!(out, "  \"workload\": \"job_like\",");
+    let _ = writeln!(out, "  \"engine\": \"{}\",", env.profile().name);
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        match cfg.mode {
+            SearchMode::Bushy => "bushy",
+            SearchMode::LeftDeep => "leftdeep",
+        }
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"scale\": {},", json_f(scale));
+    let _ = writeln!(out, "  \"num_train\": {},", split.train.len());
+    let _ = writeln!(out, "  \"num_test\": {},", split.test.len());
+    let _ = writeln!(out, "  \"config\": {{");
+    let _ = writeln!(out, "    \"beam_width\": {},", cfg.beam_width);
+    let _ = writeln!(out, "    \"iterations\": {},", cfg.iterations);
+    let _ = writeln!(out, "    \"epsilon\": {},", json_f(cfg.epsilon));
+    let _ = writeln!(
+        out,
+        "    \"timeout_factor\": {},",
+        json_f(cfg.timeout_factor)
+    );
+    let _ = writeln!(out, "    \"sim_random_plans\": {},", cfg.sim_random_plans);
+    let _ = writeln!(out, "    \"seed\": {}", cfg.seed);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(
+        out,
+        "  \"expert_test_median_secs\": {},",
+        json_f(expert_test_median)
+    );
+    let _ = writeln!(
+        out,
+        "  \"expert_train_median_secs\": {},",
+        json_f(median(&expert_train))
+    );
+    let _ = writeln!(
+        out,
+        "  \"final_test_median_secs\": {},",
+        json_f(final_test_median)
+    );
+    let _ = writeln!(out, "  \"final_vs_expert_ratio\": {},", json_f(ratio));
+    let _ = writeln!(
+        out,
+        "  \"wall_secs_total\": {},",
+        json_f(t_total.elapsed().as_secs_f64())
+    );
+    out.push_str("  \"iterations\": [\n");
+    for (i, it) in outcome.trajectory.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"iteration\": {},", it.iteration);
+        let _ = writeln!(out, "      \"sim_hours\": {},", json_f(it.sim_hours));
+        let _ = writeln!(
+            out,
+            "      \"train_median_secs\": {},",
+            json_f(it.train_median_secs)
+        );
+        let _ = writeln!(
+            out,
+            "      \"val_median_secs\": {},",
+            json_f(it.val_median_secs)
+        );
+        let _ = writeln!(
+            out,
+            "      \"test_median_secs\": {},",
+            json_f(it.test_median_secs)
+        );
+        let _ = writeln!(out, "      \"timeouts\": {},", it.timeouts);
+        let _ = writeln!(out, "      \"buffer_real\": {},", it.buffer_real);
+        let _ = writeln!(out, "      \"buffer_sim\": {},", it.buffer_sim);
+        let _ = writeln!(out, "      \"fit_mse\": {}", json_f(it.fit_mse));
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < outcome.trajectory.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_learning.json", &out).expect("write BENCH_learning.json");
+    println!("{out}");
+    eprintln!(
+        "wrote BENCH_learning.json in {:.1}s",
+        t_total.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,212 @@
+//! The experience buffer (§4.2, §7).
+//!
+//! Every executed (or simulated) subplan becomes an [`Experience`]:
+//! features, a latency label, a censoring flag, and its provenance.
+//! Entries are deduplicated by `(query, plan fingerprint, source)` with
+//! **best-label retention**, mirroring the paper's buffer semantics:
+//!
+//! * two completed observations of the same subplan keep the *minimum*
+//!   latency (the paper relabels replayed experience with the best
+//!   observed runtime, §4.2);
+//! * a completed observation always supersedes a timeout-censored one;
+//! * two censored observations keep the *largest* lower bound (the
+//!   tighter constraint);
+//! * a censored observation never overwrites a completed one.
+//!
+//! Simulated (`C_out`) and real (engine) labels live in different units,
+//! so they are kept as separate populations and extracted separately
+//! for the two training phases.
+
+use crate::model::TrainSet;
+use std::collections::HashMap;
+
+/// Where a label came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LabelSource {
+    /// Simulation phase: `C_out`-derived pseudo-latency.
+    Simulated,
+    /// Real phase: `ExecutionEnv` latency (possibly censored).
+    Real,
+}
+
+/// One labeled `(query, subplan)` observation.
+#[derive(Debug, Clone)]
+pub struct Experience {
+    /// Key of the query this subplan belongs to
+    /// (`balsa_engine::query_key`).
+    pub query_key: u64,
+    /// Structural fingerprint of the subplan.
+    pub fingerprint: u64,
+    /// Feature vector of the `(query, subplan)` state.
+    pub features: Vec<f64>,
+    /// Label in seconds (pseudo-seconds for simulated labels). When
+    /// `censored`, a lower bound.
+    pub label_secs: f64,
+    /// Whether the label is a timeout-censored lower bound.
+    pub censored: bool,
+    /// Provenance of the label.
+    pub source: LabelSource,
+}
+
+/// Deduplicating store of experiences.
+#[derive(Debug, Default)]
+pub struct ExperienceBuffer {
+    map: HashMap<(u64, u64, LabelSource), Experience>,
+}
+
+impl ExperienceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `exp`, merging with any existing entry for the same
+    /// `(query, fingerprint, source)` under best-label retention.
+    /// Returns `true` when the stored entry changed.
+    pub fn record(&mut self, exp: Experience) -> bool {
+        let key = (exp.query_key, exp.fingerprint, exp.source);
+        match self.map.get_mut(&key) {
+            None => {
+                self.map.insert(key, exp);
+                true
+            }
+            Some(old) => {
+                let replace = match (old.censored, exp.censored) {
+                    // Completed runs keep the best observed latency.
+                    (false, false) => exp.label_secs < old.label_secs,
+                    // A completed run supersedes a lower bound.
+                    (true, false) => true,
+                    // A lower bound never displaces a completed run.
+                    (false, true) => false,
+                    // Tighter (larger) lower bounds win.
+                    (true, true) => exp.label_secs > old.label_secs,
+                };
+                if replace {
+                    *old = exp;
+                }
+                replace
+            }
+        }
+    }
+
+    /// Total entries across both sources.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries from one source.
+    pub fn count(&self, source: LabelSource) -> usize {
+        self.map.keys().filter(|(_, _, s)| *s == source).count()
+    }
+
+    /// Looks up the stored entry for a `(query, fingerprint, source)`.
+    pub fn get(
+        &self,
+        query_key: u64,
+        fingerprint: u64,
+        source: LabelSource,
+    ) -> Option<&Experience> {
+        self.map.get(&(query_key, fingerprint, source))
+    }
+
+    /// Extracts one source's population as a [`TrainSet`] with labels in
+    /// log space (`ln(max(label, floor))`). Iteration order is sorted by
+    /// key so training is deterministic.
+    pub fn train_set(&self, source: LabelSource) -> TrainSet {
+        let mut keys: Vec<&(u64, u64, LabelSource)> =
+            self.map.keys().filter(|(_, _, s)| *s == source).collect();
+        keys.sort_unstable();
+        let mut set = TrainSet::default();
+        for k in keys {
+            let e = &self.map[k];
+            set.xs.push(e.features.clone());
+            set.ys.push(e.label_secs.max(1e-9).ln());
+            set.censored.push(e.censored);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(fp: u64, label: f64, censored: bool, source: LabelSource) -> Experience {
+        Experience {
+            query_key: 42,
+            fingerprint: fp,
+            features: vec![label],
+            label_secs: label,
+            censored,
+            source,
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_best_observed_latency() {
+        let mut b = ExperienceBuffer::new();
+        assert!(b.record(exp(1, 3.0, false, LabelSource::Real)));
+        // A slower completed rerun does not displace the best.
+        assert!(!b.record(exp(1, 5.0, false, LabelSource::Real)));
+        assert_eq!(b.get(42, 1, LabelSource::Real).unwrap().label_secs, 3.0);
+        // A faster rerun does.
+        assert!(b.record(exp(1, 2.0, false, LabelSource::Real)));
+        assert_eq!(b.get(42, 1, LabelSource::Real).unwrap().label_secs, 2.0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn censored_labels_are_lower_bounds() {
+        let mut b = ExperienceBuffer::new();
+        // Two censored observations: the tighter (larger) bound wins.
+        assert!(b.record(exp(7, 1.0, true, LabelSource::Real)));
+        assert!(b.record(exp(7, 4.0, true, LabelSource::Real)));
+        assert!(!b.record(exp(7, 2.0, true, LabelSource::Real)));
+        let stored = b.get(42, 7, LabelSource::Real).unwrap();
+        assert!(stored.censored);
+        assert_eq!(stored.label_secs, 4.0);
+        // A completed run supersedes any bound...
+        assert!(b.record(exp(7, 6.0, false, LabelSource::Real)));
+        let stored = b.get(42, 7, LabelSource::Real).unwrap();
+        assert!(!stored.censored);
+        assert_eq!(stored.label_secs, 6.0);
+        // ...and is never displaced by a later bound.
+        assert!(!b.record(exp(7, 9.0, true, LabelSource::Real)));
+        assert!(!b.get(42, 7, LabelSource::Real).unwrap().censored);
+    }
+
+    #[test]
+    fn sources_are_separate_populations() {
+        let mut b = ExperienceBuffer::new();
+        b.record(exp(1, 10.0, false, LabelSource::Simulated));
+        b.record(exp(1, 0.5, false, LabelSource::Real));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.count(LabelSource::Simulated), 1);
+        assert_eq!(b.count(LabelSource::Real), 1);
+        let sim = b.train_set(LabelSource::Simulated);
+        let real = b.train_set(LabelSource::Real);
+        assert_eq!(sim.len(), 1);
+        assert_eq!(real.len(), 1);
+        assert!((sim.ys[0] - 10.0f64.ln()).abs() < 1e-12);
+        assert!((real.ys[0] - 0.5f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_set_is_deterministic() {
+        let mut b = ExperienceBuffer::new();
+        for fp in [5u64, 3, 9, 1] {
+            b.record(exp(fp, fp as f64, false, LabelSource::Real));
+        }
+        let a = b.train_set(LabelSource::Real);
+        let c = b.train_set(LabelSource::Real);
+        assert_eq!(a.ys, c.ys);
+        let mut sorted = a.ys.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a.ys, sorted, "sorted by fingerprint == sorted labels here");
+    }
+}

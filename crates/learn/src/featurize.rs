@@ -1,0 +1,247 @@
+//! Featurization of `(query, partial plan)` states (§7).
+//!
+//! A [`Featurizer`] maps any subplan of any query over one database to a
+//! fixed-length vector, the input of the value model. Channels follow
+//! the paper's §7 state encoding, adapted to a linear model:
+//!
+//! * **table one-hots** — per catalog table, how many of the query's
+//!   aliased references the subplan covers, and the same for the whole
+//!   query (so the model sees both "where am I" and "where must I end
+//!   up");
+//! * **selectivity channels** — per catalog table, the summed estimated
+//!   filter selectivity of the *query's* references (the paper's
+//!   query-level `[table → selectivity]` vector; plan-independent);
+//! * **join-graph edges** — per unordered catalog-table pair, how many
+//!   equi-join edges the subplan has absorbed and how many the query has
+//!   in total;
+//! * **cardinality and cost channels** — log-scaled estimated output
+//!   cardinality, `C_out` so far, and expert physical cost of the
+//!   subplan;
+//! * **operator and shape channels** — join/scan operator counts, tree
+//!   depth, plan shape, and the engine mode (bushy hints or not).
+//!
+//! Features are a pure function of `(query, plan, estimates)`: two
+//! fingerprint-equal subplans of the same query always featurize
+//! identically, and the vector length is constant across queries — the
+//! invariants the training loop relies on for experience dedup.
+
+use balsa_card::CardEstimator;
+use balsa_cost::{physical_cost, OpWeights};
+use balsa_query::{Plan, PlanShape, Query};
+use balsa_storage::Database;
+use std::sync::Arc;
+
+/// Number of scalar (non-per-table, non-per-pair) channels.
+const SCALAR_CHANNELS: usize = 17;
+
+/// Maps `(query, partial plan)` states to fixed-length feature vectors.
+pub struct Featurizer {
+    db: Arc<Database>,
+    weights: OpWeights,
+    bushy_engine: bool,
+    num_tables: usize,
+}
+
+impl Featurizer {
+    /// Creates a featurizer for `db`, using `weights` for the expert
+    /// cost channel and `bushy_engine` as the engine-mode channel.
+    pub fn new(db: Arc<Database>, weights: OpWeights, bushy_engine: bool) -> Self {
+        let num_tables = db.catalog().num_tables();
+        Self {
+            db,
+            weights,
+            bushy_engine,
+            num_tables,
+        }
+    }
+
+    /// Number of unordered catalog-table pairs.
+    fn num_pairs(&self) -> usize {
+        self.num_tables * (self.num_tables.saturating_sub(1)) / 2
+    }
+
+    /// The (constant) feature-vector length.
+    pub fn dim(&self) -> usize {
+        3 * self.num_tables + 2 * self.num_pairs() + SCALAR_CHANNELS
+    }
+
+    /// Index of the unordered pair `(a, b)` in the edge channels.
+    fn pair_index(&self, a: usize, b: usize) -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Row-major upper triangle: pairs (0,1..T), (1,2..T), ...
+        lo * self.num_tables - lo * (lo + 1) / 2 + (hi - lo - 1)
+    }
+
+    /// Featurizes subplan `plan` of `query`, reading cardinalities and
+    /// selectivities from `est`. Pure: identical inputs give identical
+    /// vectors.
+    pub fn featurize(&self, query: &Query, plan: &Plan, est: &dyn CardEstimator) -> Vec<f64> {
+        let t = self.num_tables;
+        let p = self.num_pairs();
+        let mut x = vec![0.0; self.dim()];
+        let mask = plan.mask();
+
+        // Per-table coverage and selectivity channels.
+        for (qt, qtab) in query.tables.iter().enumerate() {
+            let tid = qtab.table;
+            let sel = est.selectivity(query, qt);
+            x[t + tid] += 1.0; // query reference count
+            x[2 * t + tid] += sel;
+            if mask.contains(qt) {
+                x[tid] += 1.0; // plan coverage count
+            }
+        }
+
+        // Join-graph edge channels (plan-absorbed and query-total).
+        for e in &query.joins {
+            let ta = query.tables[e.left_qt].table;
+            let tb = query.tables[e.right_qt].table;
+            if ta == tb {
+                continue; // self-join pair has no off-diagonal slot
+            }
+            let pi = self.pair_index(ta, tb);
+            if mask.contains(e.left_qt) && mask.contains(e.right_qt) {
+                x[3 * t + pi] += 1.0;
+            }
+            x[3 * t + p + pi] += 1.0;
+        }
+
+        // Cardinality and cost channels (log-scaled). Besides the totals
+        // (`C_out`, expert cost), the *bottleneck* channels — the largest
+        // estimated intermediate and the most expensive single operator —
+        // carry most of the latency signal.
+        let base = 3 * t + 2 * p;
+        let out_card = est.cardinality(query, mask).max(0.0);
+        let mut cout = 0.0;
+        let mut max_card = 0.0f64;
+        plan.visit(&mut |node| {
+            let c = est.cardinality(query, node.mask()).max(0.0);
+            cout += c;
+            max_card = max_card.max(c);
+        });
+        let mut nodes = Vec::new();
+        let expert = physical_cost(&self.db, query, plan, est, &self.weights, Some(&mut nodes));
+        let max_node_work = nodes.iter().map(|n| n.work).fold(0.0f64, f64::max);
+        x[base] = out_card.ln_1p();
+        x[base + 1] = cout.ln_1p();
+        x[base + 2] = expert.max(0.0).ln_1p();
+        x[base + 15] = max_card.ln_1p();
+        x[base + 16] = max_node_work.max(0.0).ln_1p();
+
+        // Operator, shape, and progress channels.
+        let (h, m, nl) = plan.join_op_counts();
+        let (seq, idx) = plan.scan_op_counts();
+        let n_query = query.num_tables() as f64;
+        x[base + 3] = plan.num_tables() as f64 / n_query.max(1.0);
+        x[base + 4] = plan.num_joins() as f64 / 16.0;
+        x[base + 5] = h as f64 / 16.0;
+        x[base + 6] = m as f64 / 16.0;
+        x[base + 7] = nl as f64 / 16.0;
+        x[base + 8] = seq as f64 / 16.0;
+        x[base + 9] = idx as f64 / 16.0;
+        x[base + 10] = plan.depth() as f64 / 16.0;
+        let shape = plan.shape();
+        x[base + 11] = (shape == PlanShape::LeftDeep) as u8 as f64;
+        x[base + 12] = (shape == PlanShape::Bushy) as u8 as f64;
+        x[base + 13] = self.bushy_engine as u8 as f64;
+        x[base + 14] = 1.0; // bias channel
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balsa_card::HistogramEstimator;
+    use balsa_query::workloads::job_workload;
+    use balsa_query::{JoinOp, ScanOp};
+    use balsa_storage::{mini_imdb, DataGenConfig};
+
+    fn fixture() -> (Arc<Database>, balsa_query::Workload) {
+        let db = Arc::new(mini_imdb(DataGenConfig {
+            scale: 0.02,
+            ..Default::default()
+        }));
+        let w = job_workload(db.catalog(), 7);
+        (db, w)
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let (db, _) = fixture();
+        let f = Featurizer::new(db, OpWeights::postgres_like(), true);
+        let t = f.num_tables;
+        let mut seen = vec![false; f.num_pairs()];
+        for a in 0..t {
+            for b in (a + 1)..t {
+                let i = f.pair_index(a, b);
+                assert_eq!(i, f.pair_index(b, a), "order-independent");
+                assert!(!seen[i], "pair ({a},{b}) collides at {i}");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn length_is_stable_across_queries_and_subplans() {
+        let (db, w) = fixture();
+        let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+        let est = HistogramEstimator::new(&db);
+        let d = f.dim();
+        for q in w.queries.iter().take(10) {
+            let full = Plan::scan(0, ScanOp::Seq);
+            assert_eq!(f.featurize(q, &full, &est).len(), d, "{}", q.name);
+            // A two-table join subplan, when the graph allows one.
+            if let Some(e) = q.joins.first() {
+                let j = Plan::join(
+                    JoinOp::Hash,
+                    Plan::scan(e.left_qt, ScanOp::Seq),
+                    Plan::scan(e.right_qt, ScanOp::Seq),
+                );
+                assert_eq!(f.featurize(q, &j, &est).len(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_equal_subplans_featurize_identically() {
+        let (db, w) = fixture();
+        let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+        let est = HistogramEstimator::new(&db);
+        let q = w.queries.iter().find(|q| q.num_tables() >= 3).unwrap();
+        let e = q.joins[0];
+        let build = || {
+            Plan::join(
+                JoinOp::Merge,
+                Plan::scan(e.left_qt, ScanOp::Seq),
+                Plan::scan(e.right_qt, ScanOp::Index),
+            )
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(f.featurize(q, &a, &est), f.featurize(q, &b, &est));
+    }
+
+    #[test]
+    fn features_distinguish_operators_and_coverage() {
+        let (db, w) = fixture();
+        let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+        let est = HistogramEstimator::new(&db);
+        let q = w.queries.iter().find(|q| q.num_tables() >= 3).unwrap();
+        let e = q.joins[0];
+        let hash = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(e.left_qt, ScanOp::Seq),
+            Plan::scan(e.right_qt, ScanOp::Seq),
+        );
+        let merge = Plan::join(
+            JoinOp::Merge,
+            Plan::scan(e.left_qt, ScanOp::Seq),
+            Plan::scan(e.right_qt, ScanOp::Seq),
+        );
+        assert_ne!(f.featurize(q, &hash, &est), f.featurize(q, &merge, &est));
+        let leaf = Plan::scan(e.left_qt, ScanOp::Seq);
+        assert_ne!(f.featurize(q, &hash, &est), f.featurize(q, &leaf, &est));
+    }
+}

@@ -1,0 +1,37 @@
+//! # balsa-learn
+//!
+//! The learning subsystem of balsa-rs — the paper's core contribution:
+//! a value function learned from the system's own executions,
+//! bootstrapped from a simulator, with **no expert demonstrations**.
+//!
+//! * [`Featurizer`] — §7's encoding of `(query, partial plan)` states:
+//!   table one-hots, join-graph edge channels, estimated-cardinality and
+//!   cost channels, operator/shape channels, and the engine mode.
+//! * [`ValueModel`] / [`LinearValueModel`] — the learned predictor of a
+//!   subplan's log latency; linear ridge regression by minibatch SGD
+//!   today, with the trait boundary where the paper's tree-convolution
+//!   net slots in later.
+//! * [`ExperienceBuffer`] — deduplicated per-subplan labels from both
+//!   simulated (`C_out`) and real (`ExecutionEnv`, timeout-censored)
+//!   runs, with best-label retention (§4.2).
+//! * [`LearnedScorer`] — the value model plugged into
+//!   `balsa_cost::PlanScorer`, driving the same beam search as the
+//!   classical cost models (§5).
+//! * [`train_loop`] — the two-phase driver: simulation pretraining, then
+//!   real-execution fine-tuning with epsilon-greedy exploration, all
+//!   charged to the environment's simulated clock (§4–§6).
+
+pub mod buffer;
+pub mod featurize;
+pub mod model;
+pub mod scorer;
+pub mod train;
+
+pub use buffer::{Experience, ExperienceBuffer, LabelSource};
+pub use featurize::Featurizer;
+pub use model::{FitReport, LinearValueModel, SgdConfig, TrainSet, ValueModel};
+pub use scorer::LearnedScorer;
+pub use train::{
+    evaluate_expert_baseline, evaluate_learned, median, train_loop, IterationStats, TrainConfig,
+    TrainOutcome,
+};

@@ -1,0 +1,384 @@
+//! The learned value model.
+//!
+//! [`ValueModel`] abstracts "predict the (log) latency of a subplan from
+//! its features" so richer function classes (the paper's tree
+//! convolution) can slot in later; [`LinearValueModel`] is the first
+//! instance — a ridge-regularized linear regressor trained by minibatch
+//! SGD on the vendored `rand` (Gaussian weight init, seeded shuffling).
+//!
+//! Labels live in **log space** (latencies span orders of magnitude) and
+//! may be **timeout-censored lower bounds** (§4.3): a censored sample
+//! contributes gradient only while the model predicts *below* the bound
+//! — a one-sided hinge, so killed executions still teach "at least this
+//! slow" without anchoring the model to the arbitrary budget value.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SliceRandomExt};
+
+/// Minibatch-SGD hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 (ridge) penalty on the weights (not the bias).
+    pub l2: f64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 60,
+            batch: 64,
+            lr: 0.03,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A training set in feature space. `ys` are log-latencies; a `true` in
+/// `censored` marks the label as a timeout lower bound.
+#[derive(Debug, Clone, Default)]
+pub struct TrainSet {
+    /// Feature vectors (all the same length).
+    pub xs: Vec<Vec<f64>>,
+    /// Log-space labels.
+    pub ys: Vec<f64>,
+    /// Censoring flags, parallel to `ys`.
+    pub censored: Vec<bool>,
+}
+
+impl TrainSet {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+}
+
+/// What one [`ValueModel::fit`] call did.
+#[derive(Debug, Clone, Copy)]
+pub struct FitReport {
+    /// SGD steps performed (for `SimClock::charge_update`).
+    pub steps: u64,
+    /// Mean squared error (censored samples via one-sided hinge) over
+    /// the training set after fitting.
+    pub mse: f64,
+}
+
+/// Predicts a scalar value (log latency) from a feature vector.
+pub trait ValueModel: Send + Sync {
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the log-latency for one feature vector.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Trains on `data`, continuing from the current parameters
+    /// (fine-tuning when called repeatedly).
+    fn fit(&mut self, data: &TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport;
+}
+
+/// Ridge-regularized linear regressor over standardized features.
+#[derive(Debug, Clone)]
+pub struct LinearValueModel {
+    w: Vec<f64>,
+    b: f64,
+    /// Per-feature standardization, frozen at the first fit so that
+    /// fine-tuning keeps the parameter space consistent across phases.
+    mean: Vec<f64>,
+    inv_std: Vec<f64>,
+    fitted: bool,
+}
+
+impl LinearValueModel {
+    /// Creates an untrained model for `dim` features (predicts 0).
+    pub fn new(dim: usize) -> Self {
+        Self {
+            w: vec![0.0; dim],
+            b: 0.0,
+            mean: vec![0.0; dim],
+            inv_std: vec![1.0; dim],
+            fitted: false,
+        }
+    }
+
+    /// Whether the model has been fit at least once.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    /// The weight vector (standardized space), for introspection.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Raw-space form `(w, b)` with standardization folded in, so that
+    /// `predict(x) = w·x + b`.
+    fn raw_form(&self) -> (Vec<f64>, f64) {
+        let w: Vec<f64> = self
+            .w
+            .iter()
+            .zip(&self.inv_std)
+            .map(|(&w, &s)| w * s)
+            .collect();
+        let b = self.b
+            - self
+                .w
+                .iter()
+                .zip(self.mean.iter().zip(&self.inv_std))
+                .map(|(&w, (&m, &s))| w * m * s)
+                .sum::<f64>();
+        (w, b)
+    }
+
+    /// Collapses `self + other` into one linear model predicting the sum
+    /// of both predictions. Used by residual fine-tuning: the simulation
+    /// phase's model stays frozen as the base, a correction model is
+    /// trained on real-execution residuals, and their merge is the
+    /// deployable value model. Merging with an unfitted model returns
+    /// `self` exactly.
+    pub fn merged_with(&self, other: &LinearValueModel) -> LinearValueModel {
+        assert_eq!(self.w.len(), other.w.len(), "dimension mismatch");
+        let (wa, ba) = self.raw_form();
+        let (wb, bb) = other.raw_form();
+        LinearValueModel {
+            w: wa.iter().zip(&wb).map(|(a, b)| a + b).collect(),
+            b: ba + bb,
+            mean: vec![0.0; self.w.len()],
+            inv_std: vec![1.0; self.w.len()],
+            fitted: self.fitted || other.fitted,
+        }
+    }
+
+    fn standardized(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            x.iter()
+                .zip(self.mean.iter().zip(&self.inv_std))
+                .map(|(&v, (&m, &s))| (v - m) * s),
+        );
+    }
+
+    fn raw_predict(&self, z: &[f64]) -> f64 {
+        self.w.iter().zip(z).map(|(w, z)| w * z).sum::<f64>() + self.b
+    }
+}
+
+impl ValueModel for LinearValueModel {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.w.len(), "feature length mismatch");
+        let mut z = Vec::with_capacity(x.len());
+        self.standardized(x, &mut z);
+        self.raw_predict(&z)
+    }
+
+    fn fit(&mut self, data: &TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
+        assert_eq!(data.xs.len(), data.ys.len());
+        assert_eq!(data.censored.len(), data.ys.len());
+        if data.is_empty() {
+            return FitReport { steps: 0, mse: 0.0 };
+        }
+        let dim = self.w.len();
+        let n = data.len();
+
+        if !self.fitted {
+            // Freeze standardization on the first training distribution.
+            for (j, m) in self.mean.iter_mut().enumerate() {
+                *m = data.xs.iter().map(|x| x[j]).sum::<f64>() / n as f64;
+            }
+            for (j, s) in self.inv_std.iter_mut().enumerate() {
+                let m = self.mean[j];
+                let var = data.xs.iter().map(|x| (x[j] - m) * (x[j] - m)).sum::<f64>() / n as f64;
+                *s = if var > 1e-12 { 1.0 / var.sqrt() } else { 0.0 };
+            }
+            // Gaussian init and a bias at the label mean put the first
+            // predictions in range.
+            for w in &mut self.w {
+                *w = rng.random_normal(0.0, 0.01);
+            }
+            self.b = data.ys.iter().sum::<f64>() / n as f64;
+            self.fitted = true;
+        }
+
+        // Pre-standardize once.
+        let zs: Vec<Vec<f64>> = data
+            .xs
+            .iter()
+            .map(|x| {
+                assert_eq!(x.len(), dim, "feature length mismatch");
+                let mut z = Vec::with_capacity(dim);
+                self.standardized(x, &mut z);
+                z
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut grad = vec![0.0; dim];
+        let mut steps = 0u64;
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(cfg.batch.max(1)) {
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                let mut gb = 0.0;
+                let mut active = 0usize;
+                for &i in chunk {
+                    let pred = self.raw_predict(&zs[i]);
+                    let resid = pred - data.ys[i];
+                    // Censored lower bound: no penalty once we predict
+                    // at or above it.
+                    if data.censored[i] && resid >= 0.0 {
+                        continue;
+                    }
+                    active += 1;
+                    for (g, z) in grad.iter_mut().zip(&zs[i]) {
+                        *g += resid * z;
+                    }
+                    gb += resid;
+                }
+                if active > 0 {
+                    let inv = 1.0 / active as f64;
+                    for (w, g) in self.w.iter_mut().zip(&grad) {
+                        *w -= cfg.lr * (g * inv + cfg.l2 * *w);
+                    }
+                    self.b -= cfg.lr * gb * inv;
+                }
+                steps += 1;
+            }
+        }
+
+        let mse = zs
+            .iter()
+            .zip(data.ys.iter().zip(&data.censored))
+            .map(|(z, (&y, &c))| {
+                let r = self.raw_predict(z) - y;
+                if c && r >= 0.0 {
+                    0.0
+                } else {
+                    r * r
+                }
+            })
+            .sum::<f64>()
+            / n as f64;
+        FitReport { steps, mse }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn synth(n: usize, rng: &mut SmallRng) -> TrainSet {
+        // y = 2*x0 - 3*x1 + 0.5 plus small noise.
+        let mut set = TrainSet::default();
+        for _ in 0..n {
+            let x0: f64 = rng.random::<f64>() * 4.0;
+            let x1: f64 = rng.random::<f64>() * 4.0;
+            let y = 2.0 * x0 - 3.0 * x1 + 0.5 + rng.random_normal(0.0, 0.01);
+            set.xs.push(vec![x0, x1]);
+            set.ys.push(y);
+            set.censored.push(false);
+        }
+        set
+    }
+
+    #[test]
+    fn recovers_a_linear_function() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data = synth(500, &mut rng);
+        let mut m = LinearValueModel::new(2);
+        let report = m.fit(&data, &SgdConfig::default(), &mut rng);
+        assert!(report.steps > 0);
+        assert!(report.mse < 0.05, "mse {}", report.mse);
+        let pred = m.predict(&[1.0, 1.0]);
+        assert!((pred - (-0.5)).abs() < 0.3, "pred {pred}");
+    }
+
+    #[test]
+    fn fit_is_deterministic_given_seed() {
+        let data = synth(200, &mut SmallRng::seed_from_u64(2));
+        let fit = |seed| {
+            let mut m = LinearValueModel::new(2);
+            m.fit(
+                &data,
+                &SgdConfig::default(),
+                &mut SmallRng::seed_from_u64(seed),
+            );
+            m.predict(&[2.0, 1.0])
+        };
+        assert_eq!(fit(7), fit(7));
+    }
+
+    #[test]
+    fn censored_labels_push_up_but_do_not_anchor() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // All samples censored at 5.0: the model must predict >= ~5 but
+        // is free to go higher; with only hinge data it settles near it.
+        let mut data = TrainSet::default();
+        for i in 0..200 {
+            data.xs.push(vec![(i % 7) as f64, 1.0]);
+            data.ys.push(5.0);
+            data.censored.push(true);
+        }
+        // A few uncensored points far above the bound dominate where
+        // gradients remain active.
+        for _ in 0..50 {
+            data.xs.push(vec![3.0, 1.0]);
+            data.ys.push(9.0);
+            data.censored.push(false);
+        }
+        let mut m = LinearValueModel::new(2);
+        m.fit(&data, &SgdConfig::default(), &mut rng);
+        let at_bound = m.predict(&[1.0, 1.0]);
+        assert!(at_bound > 4.0, "censored floor ignored: {at_bound}");
+        let at_high = m.predict(&[3.0, 1.0]);
+        assert!(
+            (at_high - 9.0).abs() < 1.5,
+            "uncensored target missed: {at_high}"
+        );
+    }
+
+    #[test]
+    fn merged_model_predicts_the_sum() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a_data = synth(300, &mut rng);
+        let mut a = LinearValueModel::new(2);
+        a.fit(&a_data, &SgdConfig::default(), &mut rng);
+        // Merging with an unfitted correction changes nothing.
+        let same = a.merged_with(&LinearValueModel::new(2));
+        for x in [[0.5, 1.5], [3.0, 0.0], [2.2, 2.2]] {
+            assert!((same.predict(&x) - a.predict(&x)).abs() < 1e-9);
+        }
+        // Merging two fitted models sums their predictions.
+        let mut b = LinearValueModel::new(2);
+        b.fit(&a_data, &SgdConfig::default(), &mut rng);
+        let m = a.merged_with(&b);
+        for x in [[0.5, 1.5], [3.0, 0.0]] {
+            assert!((m.predict(&x) - (a.predict(&x) + b.predict(&x))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_fit_is_a_noop() {
+        let mut m = LinearValueModel::new(3);
+        let r = m.fit(
+            &TrainSet::default(),
+            &SgdConfig::default(),
+            &mut SmallRng::seed_from_u64(0),
+        );
+        assert_eq!(r.steps, 0);
+        assert!(!m.is_fitted());
+    }
+}

@@ -1,0 +1,411 @@
+//! The two-phase training loop (§4–§6).
+//!
+//! **Phase 1 — simulation pretraining (§4.1).** For every training
+//! query, collect plans (the `C_out`-optimal DP plan plus random
+//! samples), label *every subplan* with its `C_out` pseudo-latency under
+//! the estimator (the minimal simulator needs no execution), and fit the
+//! value model. This bootstraps the agent away from disastrous plans
+//! without a single real execution and without expert demonstrations.
+//!
+//! **Phase 2 — real-execution fine-tuning (§4.2–§4.3).** Iterate: plan
+//! every training query with the learned-value beam under epsilon-greedy
+//! exploration (§5.2), execute on the [`ExecutionEnv`] with a safety
+//! timeout relative to the best latency seen for that query, record
+//! per-subplan (possibly censored) labels into the
+//! [`ExperienceBuffer`], and fine-tune the model on the real population.
+//! Planning time, execution time, and SGD steps are all charged to the
+//! environment's [`SimClock`], so the trajectory's `sim_hours` is the
+//! paper's learning-curve x-axis.
+//!
+//! Held-out queries are evaluated each iteration with greedy (ε = 0)
+//! inference on a *separate* environment, so evaluation neither warms
+//! the training plan cache nor advances the training clock.
+
+use crate::buffer::{Experience, ExperienceBuffer, LabelSource};
+use crate::featurize::Featurizer;
+use crate::model::{LinearValueModel, SgdConfig, ValueModel};
+use crate::scorer::LearnedScorer;
+use balsa_card::{CardEstimator, HistogramEstimator, MemoEstimator};
+use balsa_cost::{CostModel, CoutModel, ExpertCostModel};
+use balsa_engine::{query_key, ExecutionEnv, SimClock};
+use balsa_query::workloads::Workload;
+use balsa_query::{Plan, Query, Split};
+use balsa_search::{random_plan, BeamPlanner, DpPlanner, Planner, SearchMode};
+use balsa_storage::Database;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hyperparameters of [`train_loop`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Plan-shape space (match the engine's hint space).
+    pub mode: SearchMode,
+    /// Beam width for both training and evaluation inference.
+    pub beam_width: usize,
+    /// Random plans per training query in simulation pretraining
+    /// (besides the `C_out`-optimal DP plan).
+    pub sim_random_plans: usize,
+    /// Real-execution fine-tuning iterations.
+    pub iterations: usize,
+    /// Initial epsilon for epsilon-greedy beam exploration during
+    /// fine-tuning; decays linearly to 0 across the iterations (§5.2).
+    pub epsilon: f64,
+    /// Timeout budget as a multiple of the best observed latency per
+    /// query (§4.3); the first execution of a query is unbudgeted.
+    pub timeout_factor: f64,
+    /// SGD settings for the pretraining fit.
+    pub pretrain_sgd: SgdConfig,
+    /// SGD settings for each fine-tuning fit (fewer epochs: the model
+    /// continues from its current parameters).
+    pub finetune_sgd: SgdConfig,
+    /// Master seed for weight init, shuffling, sampling, exploration.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            mode: SearchMode::Bushy,
+            beam_width: 20,
+            sim_random_plans: 20,
+            iterations: 10,
+            epsilon: 0.15,
+            timeout_factor: 4.0,
+            pretrain_sgd: SgdConfig::default(),
+            finetune_sgd: SgdConfig {
+                epochs: 20,
+                lr: 0.02,
+                l2: 0.02,
+                ..SgdConfig::default()
+            },
+            seed: 0xBA15A,
+        }
+    }
+}
+
+/// One point of the learning trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationStats {
+    /// 0 after simulation pretraining, then 1..=iterations.
+    pub iteration: usize,
+    /// Simulated elapsed hours on the training environment's clock.
+    pub sim_hours: f64,
+    /// Median latency of the plans executed on the training set this
+    /// iteration (NaN for iteration 0, which executes nothing).
+    pub train_median_secs: f64,
+    /// Median executed latency of greedy inference on the held-out set.
+    pub test_median_secs: f64,
+    /// Training executions killed by the timeout this iteration.
+    pub timeouts: usize,
+    /// Real-source experiences in the buffer.
+    pub buffer_real: usize,
+    /// Simulated-source experiences in the buffer.
+    pub buffer_sim: usize,
+    /// Training MSE of the last fit.
+    pub fit_mse: f64,
+    /// Median executed latency of greedy inference on the *training*
+    /// workload (held-out queries are never used for selection).
+    pub val_median_secs: f64,
+    /// Geometric-mean executed latency on the training workload — the
+    /// checkpoint-selection signal.
+    pub val_geo_mean_secs: f64,
+}
+
+/// Result of a [`train_loop`] run.
+pub struct TrainOutcome {
+    /// The selected value model: the per-iteration checkpoint with the
+    /// best validation (training-workload) geometric-mean latency, as
+    /// the paper retains the best agent by validation rather than the
+    /// last one.
+    pub model: LinearValueModel,
+    /// Per-iteration learning trajectory (first entry is iteration 0,
+    /// right after pretraining).
+    pub trajectory: Vec<IterationStats>,
+    /// The accumulated experience buffer.
+    pub buffer: ExperienceBuffer,
+}
+
+/// Records `C_out` pseudo-latency labels for every subplan of `plan`.
+fn record_sim_labels(
+    buffer: &mut ExperienceBuffer,
+    featurizer: &Featurizer,
+    query: &Query,
+    plan: &Arc<Plan>,
+    est: &dyn CardEstimator,
+    time_per_work: f64,
+    startup_secs: f64,
+) {
+    let qk = query_key(query);
+    let cout = CoutModel;
+    for sub in plan.subplans() {
+        let label = startup_secs + cout.plan_cost(query, &sub, est) * time_per_work;
+        buffer.record(Experience {
+            query_key: qk,
+            fingerprint: sub.fingerprint(),
+            features: featurizer.featurize(query, &sub, est),
+            label_secs: label,
+            censored: false,
+            source: LabelSource::Simulated,
+        });
+    }
+}
+
+/// Geometric mean of a slice of positive latencies (NaN when empty).
+/// More sensitive than the median to tail disasters, which makes it the
+/// better validation signal for checkpoint selection.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|&x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Median of a slice (NaN when empty).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Executes greedy learned-value inference for `idxs` on `eval_env`,
+/// returning the per-query latencies.
+// The argument list is the full evaluation context; a config struct
+// would be rebuilt at every call site for no clarity gain.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_learned(
+    db: &Arc<Database>,
+    eval_env: &ExecutionEnv,
+    featurizer: &Featurizer,
+    model: &dyn ValueModel,
+    est: &dyn CardEstimator,
+    workload: &Workload,
+    idxs: &[usize],
+    mode: SearchMode,
+    beam_width: usize,
+) -> Vec<f64> {
+    let scorer = LearnedScorer::new(featurizer, model, est);
+    let planner = BeamPlanner::new(db, &scorer, mode, beam_width);
+    idxs.iter()
+        .map(|&i| {
+            let q = &workload.queries[i];
+            let out = planner.plan(q);
+            eval_env
+                .execute(q, &out.plan, None)
+                .expect("beam plan must be executable")
+                .latency_secs
+        })
+        .collect()
+}
+
+/// Executes the expert baseline — DP with the engine's expert cost model
+/// on estimated cardinalities — for `idxs`, returning latencies.
+pub fn evaluate_expert_baseline(
+    db: &Arc<Database>,
+    eval_env: &ExecutionEnv,
+    workload: &Workload,
+    idxs: &[usize],
+    mode: SearchMode,
+) -> Vec<f64> {
+    let est = HistogramEstimator::new(db);
+    let model = ExpertCostModel::new(db.clone(), eval_env.profile().weights);
+    let planner = DpPlanner::new(db, &model, &est, mode);
+    idxs.iter()
+        .map(|&i| {
+            let q = &workload.queries[i];
+            let out = planner.plan(q);
+            eval_env
+                .execute(q, &out.plan, None)
+                .expect("dp plan must be executable")
+                .latency_secs
+        })
+        .collect()
+}
+
+/// Runs simulation pretraining followed by real-execution fine-tuning on
+/// `env`, returning the trained model, the learning trajectory, and the
+/// experience buffer.
+pub fn train_loop(
+    db: &Arc<Database>,
+    env: &ExecutionEnv,
+    workload: &Workload,
+    split: &Split,
+    cfg: &TrainConfig,
+) -> TrainOutcome {
+    assert!(!split.train.is_empty(), "empty training split");
+    let profile = env.profile();
+    let est = HistogramEstimator::new(db);
+    let featurizer = Featurizer::new(db.clone(), profile.weights, profile.bushy_hints);
+    let mut buffer = ExperienceBuffer::new();
+    let mut model = LinearValueModel::new(featurizer.dim());
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Evaluation runs on a twin environment: latencies are deterministic
+    // per (query, plan), so results match the training engine without
+    // touching its clock or plan cache.
+    let eval_env = ExecutionEnv::new(db.clone(), *profile, SimClock::paper_default());
+
+    // ---- Phase 1: simulation pretraining (§4.1) ----
+    let cout = CoutModel;
+    for &qi in &split.train {
+        let q = &workload.queries[qi];
+        let memo = MemoEstimator::new(&est);
+        let dp = DpPlanner::new(db, &cout, &memo, cfg.mode).plan(q);
+        env.charge_planning(dp.planning_secs);
+        let mut plans = vec![dp.plan];
+        for _ in 0..cfg.sim_random_plans {
+            plans.push(random_plan(db, q, cfg.mode, &mut rng));
+        }
+        for plan in &plans {
+            record_sim_labels(
+                &mut buffer,
+                &featurizer,
+                q,
+                plan,
+                &memo,
+                profile.time_per_work,
+                profile.startup_secs,
+            );
+        }
+    }
+    let report = model.fit(
+        &buffer.train_set(LabelSource::Simulated),
+        &cfg.pretrain_sgd,
+        &mut rng,
+    );
+    env.charge_update(report.steps);
+
+    let mut trajectory = Vec::new();
+    let eval_point = |model: &LinearValueModel| {
+        let test = evaluate_learned(
+            db,
+            &eval_env,
+            &featurizer,
+            model,
+            &est,
+            workload,
+            &split.test,
+            cfg.mode,
+            cfg.beam_width,
+        );
+        let val = evaluate_learned(
+            db,
+            &eval_env,
+            &featurizer,
+            model,
+            &est,
+            workload,
+            &split.train,
+            cfg.mode,
+            cfg.beam_width,
+        );
+        (median(&test), median(&val), geo_mean(&val))
+    };
+    let (test_median, val_median, val_geo) = eval_point(&model);
+    let mut best_model = model.clone();
+    let mut best_val = val_geo;
+    trajectory.push(IterationStats {
+        iteration: 0,
+        sim_hours: env.elapsed_secs() / 3600.0,
+        train_median_secs: f64::NAN,
+        test_median_secs: test_median,
+        timeouts: 0,
+        buffer_real: buffer.count(LabelSource::Real),
+        buffer_sim: buffer.count(LabelSource::Simulated),
+        fit_mse: report.mse,
+        val_median_secs: val_median,
+        val_geo_mean_secs: val_geo,
+    });
+
+    // ---- Phase 2: real-execution fine-tuning (§4.2–§4.3) ----
+    //
+    // Residual scheme: the pretrained model is frozen as the base; a
+    // correction model is trained on real-execution residual labels
+    // (`ln latency − base prediction`), and the deployed model is their
+    // merge. Iteration 1 therefore starts exactly at the pretrained
+    // policy, and fine-tuning moves it only where real evidence pulls —
+    // the stable counterpart of the paper's sim-to-real transfer.
+    let base = model.clone();
+    let mut correction = LinearValueModel::new(featurizer.dim());
+    let mut best_lat: HashMap<usize, f64> = HashMap::new();
+    for iter in 1..=cfg.iterations {
+        // Linear epsilon decay: full exploration early, pure greed last.
+        let epsilon = if cfg.iterations > 1 {
+            cfg.epsilon * (1.0 - (iter - 1) as f64 / (cfg.iterations - 1) as f64)
+        } else {
+            cfg.epsilon
+        };
+        let mut lats = Vec::with_capacity(split.train.len());
+        let mut timeouts = 0usize;
+        for &qi in &split.train {
+            let q = &workload.queries[qi];
+            let scorer = LearnedScorer::new(&featurizer, &model, &est);
+            let planner = BeamPlanner::new(db, &scorer, cfg.mode, cfg.beam_width)
+                .with_exploration(epsilon, cfg.seed ^ ((iter as u64) << 44));
+            let out = planner.plan(q);
+            env.charge_planning(out.planning_secs);
+            let budget = best_lat.get(&qi).map(|b| b * cfg.timeout_factor);
+            let (outcome, labels) = env
+                .execute_labeled(q, &out.plan, budget)
+                .expect("beam plan must be executable");
+            if outcome.timed_out {
+                timeouts += 1;
+            } else {
+                let e = best_lat.entry(qi).or_insert(f64::INFINITY);
+                *e = e.min(outcome.latency_secs);
+            }
+            lats.push(outcome.latency_secs);
+            let qk = query_key(q);
+            let memo = MemoEstimator::new(&est);
+            for l in labels {
+                buffer.record(Experience {
+                    query_key: qk,
+                    fingerprint: l.plan.fingerprint(),
+                    features: featurizer.featurize(q, &l.plan, &memo),
+                    label_secs: l.latency_secs,
+                    censored: l.censored,
+                    source: LabelSource::Real,
+                });
+            }
+        }
+        let mut data = buffer.train_set(LabelSource::Real);
+        for (x, y) in data.xs.iter().zip(data.ys.iter_mut()) {
+            *y -= base.predict(x);
+        }
+        let report = correction.fit(&data, &cfg.finetune_sgd, &mut rng);
+        env.charge_update(report.steps);
+        model = base.merged_with(&correction);
+
+        let (test_median, val_median, val_geo) = eval_point(&model);
+        if val_geo < best_val || best_val.is_nan() {
+            best_val = val_geo;
+            best_model = model.clone();
+        }
+        trajectory.push(IterationStats {
+            iteration: iter,
+            sim_hours: env.elapsed_secs() / 3600.0,
+            train_median_secs: median(&lats),
+            test_median_secs: test_median,
+            timeouts,
+            buffer_real: buffer.count(LabelSource::Real),
+            buffer_sim: buffer.count(LabelSource::Simulated),
+            fit_mse: report.mse,
+            val_median_secs: val_median,
+            val_geo_mean_secs: val_geo,
+        });
+    }
+
+    TrainOutcome {
+        model: best_model,
+        trajectory,
+        buffer,
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end integration of the learning subsystem:
+//! featurization → simulation pretraining → real-execution fine-tuning
+//! with epsilon-greedy exploration → validation-selected checkpoint.
+//!
+//! Covers the PR's satellite test requirements on top of the module unit
+//! tests: featurization invariants across the real workload (identical
+//! features for fingerprint-equal subplans, stable length, left-deep and
+//! bushy coverage), experience-buffer semantics driven by real labeled
+//! executions (censored lower bounds, best-label dedup), and a smoke run
+//! of `train_loop` on a reduced split.
+
+use balsa_card::HistogramEstimator;
+use balsa_cost::OpWeights;
+use balsa_engine::{query_key, ExecutionEnv};
+use balsa_learn::{
+    evaluate_expert_baseline, evaluate_learned, median, train_loop, Experience, ExperienceBuffer,
+    Featurizer, LabelSource, SgdConfig, TrainConfig,
+};
+use balsa_query::workloads::job_workload;
+use balsa_query::Split;
+use balsa_search::{random_plan, SearchMode};
+use balsa_storage::{mini_imdb, DataGenConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn small_db() -> Arc<balsa_storage::Database> {
+    Arc::new(mini_imdb(DataGenConfig {
+        scale: 0.02,
+        ..Default::default()
+    }))
+}
+
+/// Featurization invariants over the real workload: fixed length for
+/// every subplan of every query, identical vectors for fingerprint-equal
+/// subplans, and coverage of both left-deep and bushy shapes.
+#[test]
+fn featurization_invariants_across_workload() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+    let est = HistogramEstimator::new(&db);
+    let d = f.dim();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut saw_left_deep = false;
+    let mut saw_bushy = false;
+    for q in w.queries.iter().take(20) {
+        for mode in [SearchMode::LeftDeep, SearchMode::Bushy] {
+            let plan = random_plan(&db, q, mode, &mut rng);
+            saw_left_deep |= plan.is_left_deep();
+            saw_bushy |= !plan.is_left_deep();
+            for sub in plan.subplans() {
+                let x = f.featurize(q, &sub, &est);
+                assert_eq!(x.len(), d, "{}: unstable feature length", q.name);
+                assert!(x.iter().all(|v| v.is_finite()), "{}: non-finite", q.name);
+                // Re-featurizing a structurally identical subplan gives
+                // identical features.
+                let again = f.featurize(q, &sub, &est);
+                assert_eq!(x, again);
+            }
+        }
+    }
+    assert!(saw_left_deep && saw_bushy, "both shapes must be covered");
+}
+
+/// Buffer semantics fed by *real* labeled executions: a timeout-censored
+/// root label is kept as a lower bound, then superseded by the completed
+/// run; completed reruns keep the best observed latency.
+#[test]
+fn experience_buffer_with_real_labeled_executions() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    let q = w.queries.iter().find(|q| q.num_tables() >= 5).unwrap();
+    let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+    let est = HistogramEstimator::new(&db);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let plan = random_plan(&db, q, SearchMode::Bushy, &mut rng);
+    let full = ExecutionEnv::postgres_sim(db.clone())
+        .execute(q, &plan, None)
+        .unwrap();
+
+    let mut buffer = ExperienceBuffer::new();
+    let record = |buffer: &mut ExperienceBuffer, labels: Vec<balsa_engine::SubtreeObs>| {
+        for l in labels {
+            buffer.record(Experience {
+                query_key: query_key(q),
+                fingerprint: l.plan.fingerprint(),
+                features: f.featurize(q, &l.plan, &est),
+                label_secs: l.latency_secs,
+                censored: l.censored,
+                source: LabelSource::Real,
+            });
+        }
+    };
+
+    // 1. Budgeted run: root label is a censored lower bound at the budget.
+    let env = ExecutionEnv::postgres_sim(db.clone());
+    let budget = full.latency_secs / 2.0;
+    let (out, labels) = env.execute_labeled(q, &plan, Some(budget)).unwrap();
+    assert!(out.timed_out);
+    record(&mut buffer, labels);
+    let root = buffer
+        .get(query_key(q), plan.fingerprint(), LabelSource::Real)
+        .expect("root experience recorded");
+    assert!(root.censored, "timeout label must be censored");
+    assert_eq!(root.label_secs, budget, "lower bound kept at the budget");
+
+    // 2. Unbudgeted rerun completes: the censored bound is superseded.
+    let (out2, labels2) = env.execute_labeled(q, &plan, None).unwrap();
+    assert!(!out2.timed_out);
+    record(&mut buffer, labels2);
+    let root = buffer
+        .get(query_key(q), plan.fingerprint(), LabelSource::Real)
+        .unwrap();
+    assert!(!root.censored);
+    assert_eq!(root.label_secs, out2.latency_secs);
+
+    // 3. A worse (hypothetical) completed label does not displace it.
+    let mut stale = root.clone();
+    stale.label_secs *= 10.0;
+    assert!(!buffer.record(stale));
+    assert_eq!(
+        buffer
+            .get(query_key(q), plan.fingerprint(), LabelSource::Real)
+            .unwrap()
+            .label_secs,
+        out2.latency_secs,
+        "best observed latency retained"
+    );
+}
+
+/// Smoke run of the two-phase driver on a reduced split: the trajectory
+/// has the right shape, the clock advances monotonically, experiences
+/// accumulate, and the selected learned planner lands within a sane
+/// factor of the expert baseline on held-out queries.
+#[test]
+fn train_loop_smoke_end_to_end() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    // A reduced split keeps the test fast: 24 train / 6 test queries.
+    let full = Split::random(w.queries.len(), 19, 42);
+    let split = Split {
+        train: full.train.into_iter().take(24).collect(),
+        test: full.test.into_iter().take(6).collect(),
+    };
+    let cfg = TrainConfig {
+        beam_width: 5,
+        sim_random_plans: 4,
+        iterations: 2,
+        pretrain_sgd: SgdConfig {
+            epochs: 15,
+            ..SgdConfig::default()
+        },
+        finetune_sgd: SgdConfig {
+            epochs: 8,
+            ..SgdConfig::default()
+        },
+        ..TrainConfig::default()
+    };
+    let env = ExecutionEnv::postgres_sim(db.clone());
+    let outcome = train_loop(&db, &env, &w, &split, &cfg);
+
+    assert_eq!(outcome.trajectory.len(), cfg.iterations + 1);
+    assert!(outcome.model.is_fitted());
+    let mut last_hours = 0.0;
+    for (i, it) in outcome.trajectory.iter().enumerate() {
+        assert_eq!(it.iteration, i);
+        assert!(it.sim_hours >= last_hours, "clock must be monotone");
+        last_hours = it.sim_hours;
+        assert!(it.test_median_secs.is_finite() && it.test_median_secs > 0.0);
+        assert!(it.val_median_secs.is_finite() && it.val_median_secs > 0.0);
+        if i > 0 {
+            assert!(it.train_median_secs.is_finite());
+            assert!(it.buffer_real > 0, "fine-tuning must record experience");
+        }
+    }
+    assert!(outcome.buffer.count(LabelSource::Simulated) > 0);
+    assert!(outcome.buffer.count(LabelSource::Real) > 0);
+
+    // The selected model is sane on held-out queries: within 10x of the
+    // expert baseline even in this tiny smoke configuration (the full
+    // benchmark asserts parity; see BENCH_learning.json).
+    let eval_env = ExecutionEnv::postgres_sim(db.clone());
+    let est = HistogramEstimator::new(&db);
+    let featurizer = Featurizer::new(db.clone(), env.profile().weights, env.profile().bushy_hints);
+    let learned = evaluate_learned(
+        &db,
+        &eval_env,
+        &featurizer,
+        &outcome.model,
+        &est,
+        &w,
+        &split.test,
+        cfg.mode,
+        cfg.beam_width,
+    );
+    let expert = evaluate_expert_baseline(&db, &eval_env, &w, &split.test, cfg.mode);
+    let (ml, me) = (median(&learned), median(&expert));
+    assert!(
+        ml <= me * 10.0,
+        "learned median {ml} catastrophically above expert {me}"
+    );
+}
+
+/// Training is deterministic given the seed: same config, same database,
+/// same trajectory.
+#[test]
+fn train_loop_is_deterministic() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    let split = Split {
+        train: (0..10).collect(),
+        test: (10..14).collect(),
+    };
+    let cfg = TrainConfig {
+        beam_width: 3,
+        sim_random_plans: 2,
+        iterations: 1,
+        pretrain_sgd: SgdConfig {
+            epochs: 5,
+            ..SgdConfig::default()
+        },
+        finetune_sgd: SgdConfig {
+            epochs: 3,
+            ..SgdConfig::default()
+        },
+        ..TrainConfig::default()
+    };
+    let run = || {
+        let env = ExecutionEnv::postgres_sim(db.clone());
+        let o = train_loop(&db, &env, &w, &split, &cfg);
+        o.trajectory
+            .iter()
+            .map(|it| (it.test_median_secs, it.val_median_secs))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -154,6 +154,49 @@ impl Plan {
             .collect()
     }
 
+    /// All subtrees in post-order (children before parents, left before
+    /// right; the root is last). This is the order compositional cost
+    /// evaluation visits nodes, so per-subtree observations can be
+    /// zipped against it.
+    pub fn subtrees_post_order(self: &Arc<Plan>) -> Vec<Arc<Plan>> {
+        let mut out = Vec::new();
+        fn rec(p: &Arc<Plan>, out: &mut Vec<Arc<Plan>>) {
+            if let Plan::Join { left, right, .. } = &**p {
+                rec(left, out);
+                rec(right, out);
+            }
+            out.push(p.clone());
+        }
+        rec(self, &mut out);
+        out
+    }
+
+    /// Counts scan operators by kind: `(seq, index)`. Used as a
+    /// featurization channel alongside [`Plan::join_op_counts`].
+    pub fn scan_op_counts(&self) -> (u32, u32) {
+        let mut s = 0;
+        let mut i = 0;
+        self.visit(&mut |p| {
+            if let Plan::Scan { op, .. } = p {
+                match op {
+                    ScanOp::Seq => s += 1,
+                    ScanOp::Index => i += 1,
+                }
+            }
+        });
+        (s, i)
+    }
+
+    /// Height of the tree: 1 for a scan leaf, 1 + max(child depths) for
+    /// a join. Left-deep plans over n tables have depth n; balanced
+    /// bushy plans are shallower — a shape channel for featurization.
+    pub fn depth(&self) -> u32 {
+        match self {
+            Plan::Scan { .. } => 1,
+            Plan::Join { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
     /// The plan's gross shape.
     pub fn shape(&self) -> PlanShape {
         fn all_right_leaves(p: &Plan) -> bool {
@@ -323,6 +366,38 @@ mod tests {
         let subs = p.subplans();
         assert_eq!(subs.len(), 7); // 4 leaves + 3 joins
         assert_eq!(p.join_subplans().len(), 3);
+    }
+
+    #[test]
+    fn post_order_visits_children_before_parents() {
+        let p = bushy_4();
+        let post = p.subtrees_post_order();
+        assert_eq!(post.len(), 7);
+        assert_eq!(
+            post.last().unwrap().fingerprint(),
+            p.fingerprint(),
+            "root is last"
+        );
+        for (i, sub) in post.iter().enumerate() {
+            if let Plan::Join { left, right, .. } = &**sub {
+                let pos = |needle: &Arc<Plan>| {
+                    post.iter()
+                        .position(|x| Arc::ptr_eq(x, needle))
+                        .expect("child present")
+                };
+                assert!(pos(left) < i && pos(right) < i);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_counts_and_depth() {
+        let p = left_deep_3();
+        assert_eq!(p.scan_op_counts(), (2, 1));
+        assert_eq!(p.depth(), 3);
+        assert_eq!(bushy_4().depth(), 3);
+        assert_eq!(Plan::scan(0, ScanOp::Seq).depth(), 1);
+        assert_eq!(bushy_4().scan_op_counts(), (4, 0));
     }
 
     #[test]

@@ -1,17 +1,21 @@
 //! Planner benchmark: DP vs beam-k ∈ {5, 10, 20} over the 113-query
-//! JOB-like workload.
+//! JOB-like workload, in expert-model cost *and* executed latency.
 //!
-//! Seeds the repo's benchmark trajectory. For every query and planner it
-//! records planning wall-clock time and the plan's expert-model cost;
-//! per-planner aggregates report total/median planning time and the
-//! distribution of cost ratios versus the DP optimum. Results land in
-//! `BENCH_planner.json` (JSON written by hand — the serde shim does not
-//! serialize; see vendor/README.md).
+//! Each planner runs against its own `ExecutionEnv` (PostgresSim):
+//! planning wall-clock time is charged through
+//! `ExecutionEnv::charge_planning` and every chosen plan is executed, so
+//! the reported `sim_clock_secs` totals include **search effort plus
+//! execution** — the same accounting the learning loop uses — not just
+//! plan quality. Per-planner aggregates report total/median planning
+//! time, cost ratios versus the DP optimum, and executed-latency
+//! statistics. Results land in `BENCH_planner.json` (JSON written by
+//! hand — the serde shim does not serialize; see vendor/README.md).
 //!
 //! Run with: `cargo run --release -p balsa-search --example bench_planner`
 
 use balsa_card::HistogramEstimator;
-use balsa_cost::{ExpertCostModel, OpWeights};
+use balsa_cost::{CostScorer, ExpertCostModel, OpWeights};
+use balsa_engine::ExecutionEnv;
 use balsa_query::workloads::job_workload;
 use balsa_search::{BeamPlanner, DpPlanner, Planner, SearchMode};
 use balsa_storage::{mini_imdb, DataGenConfig};
@@ -23,6 +27,9 @@ struct PlannerReport {
     name: String,
     plan_secs: Vec<f64>,
     costs: Vec<f64>,
+    exec_secs: Vec<f64>,
+    /// Simulated clock total: planning + execution.
+    sim_clock_secs: f64,
 }
 
 fn median(sorted: &[f64]) -> f64 {
@@ -45,6 +52,43 @@ fn json_f(x: f64) -> String {
     }
 }
 
+/// Runs one planner over the workload on a fresh environment, charging
+/// planning time to the environment's clock and executing every plan.
+fn run_planner(
+    db: &Arc<balsa_storage::Database>,
+    w: &balsa_query::Workload,
+    planner: &dyn Planner,
+) -> PlannerReport {
+    let env = ExecutionEnv::postgres_sim(db.clone());
+    let mut rep = PlannerReport {
+        name: planner.name(),
+        plan_secs: Vec::new(),
+        costs: Vec::new(),
+        exec_secs: Vec::new(),
+        sim_clock_secs: 0.0,
+    };
+    for q in &w.queries {
+        let out = planner.plan(q);
+        env.charge_planning(out.planning_secs);
+        let exec = env
+            .execute(q, &out.plan, None)
+            .expect("planner output must be executable");
+        rep.plan_secs.push(out.planning_secs);
+        rep.costs.push(out.cost);
+        rep.exec_secs.push(exec.latency_secs);
+    }
+    rep.sim_clock_secs = env.elapsed_secs();
+    eprintln!(
+        "{}: planning {:.2}s, executed {:.2}s, sim clock {:.2}s over {} queries",
+        rep.name,
+        rep.plan_secs.iter().sum::<f64>(),
+        rep.exec_secs.iter().sum::<f64>(),
+        rep.sim_clock_secs,
+        w.queries.len()
+    );
+    rep
+}
+
 fn main() {
     let t_total = Instant::now();
     let db = Arc::new(mini_imdb(DataGenConfig::default()));
@@ -56,50 +100,19 @@ fn main() {
     );
     let est = HistogramEstimator::new(&db);
     let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+    let scorer = CostScorer::new(&model, &est);
 
     let widths = [5usize, 10, 20];
     let mut reports: Vec<PlannerReport> = Vec::new();
 
     // DP first: its costs are the per-query baselines.
     let dp_planner = DpPlanner::new(&db, &model, &est, SearchMode::Bushy);
-    let mut dp = PlannerReport {
-        name: dp_planner.name(),
-        plan_secs: Vec::new(),
-        costs: Vec::new(),
-    };
-    for q in &w.queries {
-        let out = dp_planner.plan(q);
-        dp.plan_secs.push(out.planning_secs);
-        dp.costs.push(out.cost);
-    }
-    let dp_costs = dp.costs.clone();
-    eprintln!(
-        "{}: total {:.2}s over {} queries",
-        dp.name,
-        dp.plan_secs.iter().sum::<f64>(),
-        w.queries.len()
-    );
-    reports.push(dp);
+    reports.push(run_planner(&db, &w, &dp_planner));
+    let dp_costs = reports[0].costs.clone();
 
     for &k in &widths {
-        let planner = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, k);
-        let mut rep = PlannerReport {
-            name: planner.name(),
-            plan_secs: Vec::new(),
-            costs: Vec::new(),
-        };
-        for q in &w.queries {
-            let out = planner.plan(q);
-            rep.plan_secs.push(out.planning_secs);
-            rep.costs.push(out.cost);
-        }
-        eprintln!(
-            "{}: total {:.2}s over {} queries",
-            rep.name,
-            rep.plan_secs.iter().sum::<f64>(),
-            w.queries.len()
-        );
-        reports.push(rep);
+        let planner = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, k);
+        reports.push(run_planner(&db, &w, &planner));
     }
 
     // Hand-rolled JSON.
@@ -116,6 +129,8 @@ fn main() {
     for (pi, rep) in reports.iter().enumerate() {
         let mut secs = rep.plan_secs.clone();
         secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut execs = rep.exec_secs.clone();
+        execs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let mut ratios: Vec<f64> = rep
             .costs
             .iter()
@@ -139,6 +154,21 @@ fn main() {
             out,
             "      \"plan_secs_max\": {},",
             json_f(secs.last().copied().unwrap_or(f64::NAN))
+        );
+        let _ = writeln!(
+            out,
+            "      \"exec_secs_total\": {},",
+            json_f(rep.exec_secs.iter().sum())
+        );
+        let _ = writeln!(
+            out,
+            "      \"exec_secs_median\": {},",
+            json_f(median(&execs))
+        );
+        let _ = writeln!(
+            out,
+            "      \"sim_clock_secs\": {},",
+            json_f(rep.sim_clock_secs)
         );
         let _ = writeln!(
             out,

@@ -3,24 +3,33 @@
 //! This is the inference procedure of Balsa's agent (§5): states are
 //! forests of disjoint partial plans; each step joins two connected
 //! trees with a physical operator; the beam keeps the `k` best-scoring
-//! states per level and a complete plan emerges after `n-1` steps. Here
-//! the scoring function is a classical [`CostModel`]; the learned value
-//! network will later slot into exactly this position. Candidate moves
-//! come from the same [`CandidateSpace`] as the DP enumerator, so beam
-//! search explores a subset of the DP space and its best plan's cost is
+//! states per level and a complete plan emerges after `n-1` steps. The
+//! scoring function is any [`PlanScorer`] — a classical cost model via
+//! [`balsa_cost::CostScorer`], or `balsa-learn`'s learned value model —
+//! slotted into exactly the position the paper gives the value network.
+//! Candidate moves come from the same [`CandidateSpace`] as the DP
+//! enumerator, so beam search explores a subset of the DP space; when
+//! the scorer is a compositional cost model, its best plan's cost is
 //! bounded below by the DP optimum.
 //!
 //! Scan operators are decided lazily: a leaf enters the initial forest
 //! as its cheapest scan, and every join step re-considers all scan
 //! candidates for leaf inputs (mirroring how the paper's agent picks
 //! scans as part of each join action).
+//!
+//! **Exploration** (§5.2): with [`BeamPlanner::with_exploration`], each
+//! kept beam slot is, with probability ε, replaced by a uniformly random
+//! surviving candidate instead of the next-best one — the epsilon-greedy
+//! policy the training loop uses to diversify the plans it executes.
+//! Sampling is deterministic given the seed and query id.
 
 use crate::candidates::CandidateSpace;
-use crate::{MemoEstimator, PlannedQuery, Planner, SearchMode, SearchStats};
-use balsa_card::CardEstimator;
-use balsa_cost::{CostModel, SubtreeCost};
+use crate::{PlannedQuery, Planner, SearchMode, SearchStats};
+use balsa_cost::{PlanScorer, ScoredTree};
 use balsa_query::{Plan, Query};
 use balsa_storage::Database;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,14 +38,14 @@ use std::time::Instant;
 #[derive(Clone)]
 struct Tree {
     plan: Arc<Plan>,
-    sc: SubtreeCost,
+    st: ScoredTree,
 }
 
 /// One beam state: a forest of disjoint trees covering all tables.
 #[derive(Clone)]
 struct State {
     trees: Vec<Tree>,
-    /// Sum of tree costs — the beam score (lower is better).
+    /// Sum of tree scores — the beam score (lower is better).
     total: f64,
 }
 
@@ -49,32 +58,51 @@ impl State {
     }
 }
 
-/// The width-`k` beam-search planner.
+/// Epsilon-greedy beam exploration parameters.
+#[derive(Debug, Clone, Copy)]
+struct Exploration {
+    epsilon: f64,
+    seed: u64,
+}
+
+/// The width-`k` beam-search planner over an arbitrary [`PlanScorer`].
 pub struct BeamPlanner<'a> {
     db: &'a Database,
-    cost: &'a dyn CostModel,
-    est: &'a dyn CardEstimator,
+    scorer: &'a dyn PlanScorer,
     mode: SearchMode,
     width: usize,
+    exploration: Option<Exploration>,
 }
 
 impl<'a> BeamPlanner<'a> {
-    /// Creates a beam planner with beam width `width` (≥ 1).
+    /// Creates a beam planner with beam width `width` (≥ 1), ranking
+    /// candidates by `scorer`.
     pub fn new(
         db: &'a Database,
-        cost: &'a dyn CostModel,
-        est: &'a dyn CardEstimator,
+        scorer: &'a dyn PlanScorer,
         mode: SearchMode,
         width: usize,
     ) -> Self {
         assert!(width >= 1, "beam width must be at least 1");
         Self {
             db,
-            cost,
-            est,
+            scorer,
             mode,
             width,
+            exploration: None,
         }
+    }
+
+    /// Enables epsilon-greedy exploration: at every level, each kept
+    /// beam slot is with probability `epsilon` filled by a uniformly
+    /// random surviving candidate instead of the next-best one. The
+    /// returned plan is the state in slot 0, so with probability ε the
+    /// planner executes an exploratory plan — the behavior policy of the
+    /// fine-tuning loop (§5.2). `epsilon = 0` is exactly greedy.
+    pub fn with_exploration(mut self, epsilon: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        self.exploration = Some(Exploration { epsilon, seed });
+        self
     }
 
     /// Scan variants for a tree: leaves re-open their scan choice (from
@@ -93,7 +121,11 @@ impl Planner for BeamPlanner<'_> {
             SearchMode::Bushy => "bushy",
             SearchMode::LeftDeep => "leftdeep",
         };
-        format!("beam{}-{}/{}", self.width, shape, self.cost.name())
+        let eps = match self.exploration {
+            Some(e) if e.epsilon > 0.0 => format!("+eps{:.2}", e.epsilon),
+            _ => String::new(),
+        };
+        format!("beam{}-{}/{}{}", self.width, shape, self.scorer.name(), eps)
     }
 
     fn plan(&self, query: &Query) -> PlannedQuery {
@@ -101,35 +133,38 @@ impl Planner for BeamPlanner<'_> {
         let n = query.num_tables();
         assert!(n >= 1, "query has no tables");
         let space = CandidateSpace::new(self.db, query, self.mode);
-        let memo = MemoEstimator::new(self.est);
+        let session = self.scorer.for_query(query);
         let mut stats = SearchStats::default();
+        let mut rng = self
+            .exploration
+            .filter(|e| e.epsilon > 0.0)
+            .map(|e| SmallRng::seed_from_u64(e.seed ^ ((query.id as u64) << 20) ^ 0xBEA7));
 
-        // Scan candidates are state-independent: cost them once per table.
+        // Scan candidates are state-independent: score them once per table.
         let scan_variants: Vec<Vec<Tree>> = (0..n)
             .map(|qt| {
                 space
-                    .scan_plans(qt)
+                    .scored_scan_plans(qt, &*session)
                     .into_iter()
-                    .map(|p| {
+                    .map(|(plan, st)| {
                         stats.candidates += 1;
-                        let sc = self.cost.scan_summary(query, &p, &memo);
-                        Tree { plan: p, sc }
+                        Tree { plan, st }
                     })
                     .collect()
             })
             .collect();
 
-        // Initial forest: each table as its cheapest scan candidate.
+        // Initial forest: each table as its best-scoring scan candidate.
         let leaves: Vec<Tree> = scan_variants
             .iter()
             .map(|vs| {
                 vs.iter()
-                    .min_by(|a, b| a.sc.work.partial_cmp(&b.sc.work).expect("finite"))
+                    .min_by(|a, b| a.st.score.partial_cmp(&b.st.score).expect("finite"))
                     .expect("at least one scan candidate")
                     .clone()
             })
             .collect();
-        let total = leaves.iter().map(|t| t.sc.work).sum();
+        let total = leaves.iter().map(|t| t.st.score).sum();
         let mut beam = vec![State {
             trees: leaves,
             total,
@@ -153,13 +188,9 @@ impl Planner for BeamPlanner<'_> {
                         let rvs = self.variants(&scan_variants, &state.trees[j]);
                         for lv in lvs {
                             for rv in rvs {
-                                if !space.allows_join(&lv.plan, &rv.plan) {
-                                    continue;
-                                }
-                                for &op in space.join_ops() {
-                                    let plan = Plan::join(op, lv.plan.clone(), rv.plan.clone());
-                                    let sc =
-                                        self.cost.join_summary(query, &plan, &lv.sc, &rv.sc, &memo);
+                                for (plan, st) in space.scored_join_plans(
+                                    &lv.plan, &lv.st, &rv.plan, &rv.st, &*session,
+                                ) {
                                     stats.candidates += 1;
                                     let mut trees: Vec<Tree> = state
                                         .trees
@@ -168,9 +199,9 @@ impl Planner for BeamPlanner<'_> {
                                         .filter(|(k, _)| *k != i && *k != j)
                                         .map(|(_, t)| t.clone())
                                         .collect();
-                                    let joined = Tree { plan, sc };
-                                    let total = trees.iter().map(|t| t.sc.work).sum::<f64>()
-                                        + joined.sc.work;
+                                    let joined = Tree { plan, st };
+                                    let total = trees.iter().map(|t| t.st.score).sum::<f64>()
+                                        + joined.st.score;
                                     trees.push(joined);
                                     let cand = State { trees, total };
                                     if seen.insert(cand.signature()) {
@@ -188,6 +219,17 @@ impl Planner for BeamPlanner<'_> {
                 query.name
             );
             next.sort_by(|a, b| a.total.partial_cmp(&b.total).expect("finite scores"));
+            // Epsilon-greedy slot filling: slot s takes the next-best
+            // candidate, or — with probability ε — a random survivor.
+            if let Some(rng) = rng.as_mut() {
+                let eps = self.exploration.expect("rng implies exploration").epsilon;
+                for slot in 0..self.width.min(next.len()) {
+                    if rng.random_bool(eps) {
+                        let pick = rng.random_range(slot..next.len());
+                        next.swap(slot, pick);
+                    }
+                }
+            }
             next.truncate(self.width);
             stats.states += next.len();
             beam = next;
@@ -198,7 +240,7 @@ impl Planner for BeamPlanner<'_> {
         let tree = &best.trees[0];
         PlannedQuery {
             plan: tree.plan.clone(),
-            cost: tree.sc.work,
+            cost: tree.st.score,
             stats,
             planning_secs: start.elapsed().as_secs_f64(),
         }
@@ -210,7 +252,7 @@ mod tests {
     use super::*;
     use crate::DpPlanner;
     use balsa_card::HistogramEstimator;
-    use balsa_cost::{ExpertCostModel, OpWeights};
+    use balsa_cost::{CostModel, CostScorer, ExpertCostModel, OpWeights};
     use balsa_query::workloads::job_workload;
     use balsa_storage::{mini_imdb, DataGenConfig};
 
@@ -228,8 +270,9 @@ mod tests {
         let (db, w) = fixture();
         let est = HistogramEstimator::new(&db);
         let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        let scorer = CostScorer::new(&model, &est);
         for q in w.queries.iter().take(4) {
-            let beam = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 5);
+            let beam = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5);
             let out = beam.plan(q);
             assert_eq!(out.plan.mask(), q.all_mask(), "{}", q.name);
             let recost = model.plan_cost(q, &out.plan, &est);
@@ -242,9 +285,10 @@ mod tests {
         let (db, w) = fixture();
         let est = HistogramEstimator::new(&db);
         let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        let scorer = CostScorer::new(&model, &est);
         for q in w.queries.iter().filter(|q| q.num_tables() <= 9).take(5) {
             let dp = DpPlanner::new(&db, &model, &est, SearchMode::Bushy).plan(q);
-            let bm = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 10).plan(q);
+            let bm = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 10).plan(q);
             assert!(
                 bm.cost >= dp.cost * (1.0 - 1e-9),
                 "{}: beam {} below dp optimum {}",
@@ -260,9 +304,10 @@ mod tests {
         let (db, w) = fixture();
         let est = HistogramEstimator::new(&db);
         let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        let scorer = CostScorer::new(&model, &est);
         let q = w.queries.iter().find(|q| q.num_tables() >= 6).unwrap();
-        let narrow = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 1).plan(q);
-        let wide = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 20).plan(q);
+        let narrow = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 1).plan(q);
+        let wide = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 20).plan(q);
         assert!(wide.cost <= narrow.cost * (1.0 + 1e-9));
     }
 
@@ -271,9 +316,54 @@ mod tests {
         let (db, w) = fixture();
         let est = HistogramEstimator::new(&db);
         let model = ExpertCostModel::new(db.clone(), OpWeights::commdb_like());
+        let scorer = CostScorer::new(&model, &est);
         for q in w.queries.iter().take(4) {
-            let out = BeamPlanner::new(&db, &model, &est, SearchMode::LeftDeep, 5).plan(q);
+            let out = BeamPlanner::new(&db, &scorer, SearchMode::LeftDeep, 5).plan(q);
             assert!(out.plan.is_left_deep(), "{}: {}", q.name, out.plan);
         }
+    }
+
+    #[test]
+    fn zero_epsilon_exploration_is_exactly_greedy() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        let scorer = CostScorer::new(&model, &est);
+        let q = w.queries.iter().find(|q| q.num_tables() >= 6).unwrap();
+        let greedy = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5).plan(q);
+        let eps0 = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5)
+            .with_exploration(0.0, 123)
+            .plan(q);
+        assert_eq!(greedy.plan.fingerprint(), eps0.plan.fingerprint());
+        assert_eq!(greedy.cost, eps0.cost);
+    }
+
+    #[test]
+    fn exploration_is_deterministic_valid_and_diverse() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        let scorer = CostScorer::new(&model, &est);
+        let q = w.queries.iter().find(|q| q.num_tables() >= 7).unwrap();
+        let a = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5)
+            .with_exploration(0.5, 9)
+            .plan(q);
+        let b = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5)
+            .with_exploration(0.5, 9)
+            .plan(q);
+        assert_eq!(a.plan.fingerprint(), b.plan.fingerprint(), "same seed");
+        assert_eq!(a.plan.mask(), q.all_mask(), "exploration keeps validity");
+        // Across seeds, exploration visits different plans at least once.
+        let greedy = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5).plan(q);
+        let distinct = (0..20).any(|s| {
+            let p = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5)
+                .with_exploration(0.7, s)
+                .plan(q);
+            p.plan.fingerprint() != greedy.plan.fingerprint()
+        });
+        assert!(distinct, "epsilon-greedy never deviated from greedy");
+        // Name reflects the exploration setting.
+        let named = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5).with_exploration(0.25, 1);
+        assert!(named.name().contains("+eps0.25"), "{}", named.name());
     }
 }

@@ -8,8 +8,15 @@
 //! three procedures explore the *same* plan space — the property the
 //! paper relies on when comparing the expert enumerator with the
 //! learned agent's beam search.
+//!
+//! The **scored** candidate path ([`CandidateSpace::scored_scan_plans`],
+//! [`CandidateSpace::scored_join_plans`]) pairs every generated move
+//! with its [`ScoredTree`] under an arbitrary [`QueryScorer`] session,
+//! so search procedures never touch a cost model directly — the expert
+//! model, `C_out`, and the learned value model are interchangeable.
 
 use crate::SearchMode;
+use balsa_cost::{QueryScorer, ScoredTree};
 use balsa_query::{JoinOp, Plan, Query, ScanOp, TableMask};
 use balsa_storage::Database;
 use std::sync::Arc;
@@ -88,6 +95,46 @@ impl<'a> CandidateSpace<'a> {
         self.join_ops()
             .iter()
             .map(|&op| Plan::join(op, left.clone(), right.clone()))
+            .collect()
+    }
+
+    /// Scan candidates for query-table `qt`, each paired with its score
+    /// under `scorer` — the shared scoring path of the search layer.
+    pub fn scored_scan_plans(
+        &self,
+        qt: usize,
+        scorer: &dyn QueryScorer,
+    ) -> Vec<(Arc<Plan>, ScoredTree)> {
+        self.scan_plans(qt)
+            .into_iter()
+            .map(|p| {
+                let st = scorer.score_scan(&p);
+                (p, st)
+            })
+            .collect()
+    }
+
+    /// All scored join candidates combining `left` and `right` (whose
+    /// scored subtrees are `lst`/`rst`) in this orientation; empty when
+    /// the orientation is not allowed.
+    pub fn scored_join_plans(
+        &self,
+        left: &Arc<Plan>,
+        lst: &ScoredTree,
+        right: &Arc<Plan>,
+        rst: &ScoredTree,
+        scorer: &dyn QueryScorer,
+    ) -> Vec<(Arc<Plan>, ScoredTree)> {
+        if !self.allows_join(left, right) {
+            return Vec::new();
+        }
+        self.join_ops()
+            .iter()
+            .map(|&op| {
+                let plan = Plan::join(op, left.clone(), right.clone());
+                let st = scorer.score_join(&plan, lst, rst);
+                (plan, st)
+            })
             .collect()
     }
 

@@ -13,8 +13,13 @@
 //!   cost model on estimated cardinalities it is the classical expert
 //!   optimizer baseline; on true cardinalities it is the oracle planner.
 //! * [`BeamPlanner`] — width-`k` best-first beam search over the same
-//!   candidate-generation core ([`CandidateSpace`]), the inference
-//!   procedure Balsa's learned value model will later drive (§5).
+//!   candidate-generation core ([`CandidateSpace`]), generic over any
+//!   [`balsa_cost::PlanScorer`]: the expert cost model (via
+//!   [`balsa_cost::CostScorer`]), the `C_out` simulator, or
+//!   `balsa-learn`'s learned value model all drive the identical
+//!   inference procedure (§5). Epsilon-greedy exploration
+//!   ([`BeamPlanner::with_exploration`]) supplies the §5.2 behavior
+//!   policy for the training loop.
 //! * [`RandomPlanner`] — uniform random valid plans, the exploration /
 //!   sanity baseline.
 //!
@@ -32,10 +37,11 @@ pub use candidates::CandidateSpace;
 pub use dp::DpPlanner;
 pub use random::{random_plan, RandomPlanner};
 
-use balsa_card::CardEstimator;
-use balsa_query::{Plan, Query, TableMask};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+// Moved to `balsa-card` so the scoring layer (`balsa_cost::PlanScorer`)
+// can memoize too; re-exported for backwards compatibility.
+pub use balsa_card::MemoEstimator;
+
+use balsa_query::{Plan, Query};
 use std::sync::Arc;
 
 /// Which plan shapes the search may produce, mirroring the hint spaces
@@ -96,44 +102,11 @@ pub trait Planner {
     fn plan(&self, query: &Query) -> PlannedQuery;
 }
 
-/// A per-query memoizing wrapper around a [`CardEstimator`].
-///
-/// Planners ask for the same subset cardinalities thousands of times;
-/// this caches them by [`TableMask`]. The cache is keyed by mask only,
-/// so one `MemoEstimator` must serve exactly one query.
-pub struct MemoEstimator<'a> {
-    inner: &'a dyn CardEstimator,
-    cards: Mutex<HashMap<u32, f64>>,
-}
-
-impl<'a> MemoEstimator<'a> {
-    /// Wraps `inner` for use with a single query.
-    pub fn new(inner: &'a dyn CardEstimator) -> Self {
-        Self {
-            inner,
-            cards: Mutex::new(HashMap::new()),
-        }
-    }
-}
-
-impl CardEstimator for MemoEstimator<'_> {
-    fn cardinality(&self, query: &Query, mask: TableMask) -> f64 {
-        if let Some(&c) = self.cards.lock().get(&mask.0) {
-            return c;
-        }
-        let c = self.inner.cardinality(query, mask);
-        self.cards.lock().insert(mask.0, c);
-        c
-    }
-
-    fn base_rows(&self, query: &Query, qt: usize) -> f64 {
-        self.inner.base_rows(query, qt)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use balsa_card::CardEstimator;
+    use balsa_query::TableMask;
 
     struct Counting(std::sync::atomic::AtomicUsize);
     impl CardEstimator for Counting {

@@ -12,7 +12,7 @@
 //!   valid plans.
 
 use balsa_card::CardEstimator;
-use balsa_cost::{CostModel, ExpertCostModel, OpWeights, SubtreeCost};
+use balsa_cost::{CostModel, CostScorer, ExpertCostModel, OpWeights, SubtreeCost};
 use balsa_engine::{EnvError, ExecutionEnv};
 use balsa_query::workloads::job_workload;
 use balsa_query::{Plan, Split, TableMask};
@@ -138,11 +138,12 @@ fn beam_cost_is_within_bounded_ratio_of_dp_on_training_split() {
     assert_eq!(split.train.len(), 94);
     let est = balsa_card::HistogramEstimator::new(&db);
     let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+    let scorer = CostScorer::new(&model, &est);
     const BOUND: f64 = 1.5;
     for &i in &split.train {
         let q = &w.queries[i];
         let dp = DpPlanner::new(&db, &model, &est, SearchMode::Bushy).plan(q);
-        let bm = BeamPlanner::new(&db, &model, &est, SearchMode::Bushy, 10).plan(q);
+        let bm = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 10).plan(q);
         assert!(
             bm.cost <= dp.cost * BOUND && bm.cost >= dp.cost * (1.0 - 1e-9),
             "{}: beam {} vs dp {} breaks ratio bound {BOUND}",

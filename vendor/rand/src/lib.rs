@@ -136,9 +136,53 @@ pub trait RngExt: RngCore {
     {
         f64::sample(self) < p
     }
+
+    /// Draws a standard-normal variate via Box-Muller (two uniform draws
+    /// per sample; the paired cosine/sine variate is discarded so the
+    /// stream stays position-independent).
+    #[inline]
+    fn random_standard_normal(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // u1 in (0, 1] so ln(u1) is finite.
+        let u1 = ((self.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+        let u2 = f64::sample(self);
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Draws from `N(mean, std_dev²)`.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative.
+    #[inline]
+    fn random_normal(&mut self, mean: f64, std_dev: f64) -> f64
+    where
+        Self: Sized,
+    {
+        assert!(std_dev >= 0.0, "negative standard deviation");
+        mean + std_dev * self.random_standard_normal()
+    }
 }
 
 impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Slice extensions driven by an rng (the rand 0.10 `IndexedMutRandom`
+/// surface this workspace uses).
+pub trait SliceRandomExt {
+    /// Shuffles the slice in place (Fisher-Yates). Deterministic given
+    /// the rng state.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandomExt for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
 
 /// Concrete rng implementations.
 pub mod rngs {
@@ -238,5 +282,61 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
         assert!((2500..3500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.random_normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        for x in &xs {
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn normal_is_deterministic_and_zero_std_is_constant() {
+        let a: Vec<f64> = {
+            let mut rng = SmallRng::seed_from_u64(11);
+            (0..50).map(|_| rng.random_standard_normal()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = SmallRng::seed_from_u64(11);
+            (0..50).map(|_| rng.random_standard_normal()).collect()
+        };
+        assert_eq!(a, b);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(rng.random_normal(7.5, 0.0), 7.5);
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        use super::SliceRandomExt;
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        a.shuffle(&mut SmallRng::seed_from_u64(9));
+        b.shuffle(&mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..100).collect::<Vec<_>>(),
+            "must be a permutation"
+        );
+        assert_ne!(a, sorted, "100 elements should not shuffle to identity");
+        let mut c: Vec<u32> = (0..100).collect();
+        c.shuffle(&mut SmallRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seeds should differ");
+        // Degenerate slices are fine.
+        let mut empty: [u32; 0] = [];
+        empty.shuffle(&mut SmallRng::seed_from_u64(1));
+        let mut one = [42u32];
+        one.shuffle(&mut SmallRng::seed_from_u64(1));
+        assert_eq!(one, [42]);
     }
 }
