@@ -36,7 +36,7 @@ pub use cmm::CmmModel;
 pub use cout::CoutModel;
 pub use expert::ExpertCostModel;
 pub use physical::{join_cost, physical_cost, scan_cost, NodeCost, OpWeights, SubtreeCost};
-pub use scorer::{CostScorer, PlanScorer, QueryScorer, ScoredTree};
+pub use scorer::{CostScorer, PlanScorer, QueryScorer, ScoredTree, SubtreeExt};
 
 use balsa_card::CardEstimator;
 use balsa_query::{Plan, Query};

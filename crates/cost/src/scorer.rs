@@ -18,10 +18,19 @@
 use crate::{CostModel, SubtreeCost};
 use balsa_card::{CardEstimator, MemoEstimator};
 use balsa_query::{Plan, Query};
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// Opaque per-subtree state a scorer threads through join composition —
+/// the child hook that lets incremental scorers (feature-channel
+/// composition, tree-convolution activations) score a candidate join in
+/// O(1) instead of re-walking the subtree.
+pub type SubtreeExt = Arc<dyn Any + Send + Sync>;
 
 /// A scored subtree: the scorer's ranking value plus the compositional
 /// physical summary threaded through joins.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ScoredTree {
     /// The beam-ranking score; lower is better. Cost scorers report the
     /// subtree's work, learned scorers a predicted latency.
@@ -29,6 +38,20 @@ pub struct ScoredTree {
     /// Compositional physical summary (output rows, orders, work) that
     /// child-aware scorers use when composing joins.
     pub sc: SubtreeCost,
+    /// Scorer-private incremental state, handed back as the `lc`/`rc`
+    /// children of [`QueryScorer::score_join`]. `None` for scorers that
+    /// score from scratch.
+    pub ext: Option<SubtreeExt>,
+}
+
+impl fmt::Debug for ScoredTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScoredTree")
+            .field("score", &self.score)
+            .field("sc", &self.sc)
+            .field("ext", &self.ext.as_ref().map(|_| "<opaque>"))
+            .finish()
+    }
 }
 
 /// A source of plan scores. `Send + Sync` so training loops can share
@@ -92,14 +115,22 @@ struct CostQueryScorer<'q> {
 impl QueryScorer for CostQueryScorer<'_> {
     fn score_scan(&self, scan: &Plan) -> ScoredTree {
         let sc = self.cost.scan_summary(self.query, scan, &self.memo);
-        ScoredTree { score: sc.work, sc }
+        ScoredTree {
+            score: sc.work,
+            sc,
+            ext: None,
+        }
     }
 
     fn score_join(&self, join: &Plan, lc: &ScoredTree, rc: &ScoredTree) -> ScoredTree {
         let sc = self
             .cost
             .join_summary(self.query, join, &lc.sc, &rc.sc, &self.memo);
-        ScoredTree { score: sc.work, sc }
+        ScoredTree {
+            score: sc.work,
+            sc,
+            ext: None,
+        }
     }
 }
 

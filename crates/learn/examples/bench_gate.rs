@@ -1,0 +1,136 @@
+//! CI regression gate over the checked-in benchmark artifacts.
+//!
+//! Reads `BENCH_planner.json` and `BENCH_learning.json` (as produced by
+//! `bench_planner` / `bench_learning` in the same run) and **fails**
+//! (exit 1) when a tracked ratio regresses past its threshold, instead
+//! of CI merely uploading the JSON:
+//!
+//! * **planner**: the beam-20 / DP executed-latency median ratio must
+//!   stay ≤ [`PLANNER_BEAM_DP_MAX`] — beam search with the expert cost
+//!   model may not drift away from the DP optimum's real latency;
+//! * **learning**: every trained model's `final_vs_expert_ratio`
+//!   (validation-selected checkpoint vs the expert DP baseline on
+//!   held-out queries) must stay ≤ [`LEARNED_EXPERT_MAX`] for full runs,
+//!   or the looser [`LEARNED_EXPERT_MAX_SMOKE`] for `BALSA_SMOKE` runs
+//!   (tiny scale, 2 iterations — noisier by construction).
+//!
+//! The JSON is the repo's own hand-rolled format (the serde shim does
+//! not deserialize), so this reads it with a deliberately small
+//! anchor-then-key scanner rather than a parser.
+//!
+//! Run with: `cargo run --release -p balsa-learn --example bench_gate`
+
+use std::process::exit;
+
+/// Max allowed beam-20 / DP executed-latency median ratio.
+const PLANNER_BEAM_DP_MAX: f64 = 1.15;
+/// Max allowed learned / expert held-out ratio for full benchmark runs.
+const LEARNED_EXPERT_MAX: f64 = 1.05;
+/// Max allowed learned / expert ratio in the CI smoke configuration.
+const LEARNED_EXPERT_MAX_SMOKE: f64 = 1.60;
+
+/// Finds `"key": <value>` at or after `anchor` (the first occurrence of
+/// `anchor` in `text`) and parses the value token.
+fn number_after(text: &str, anchor: &str, key: &str) -> Option<f64> {
+    let start = text.find(anchor)?;
+    let needle = format!("\"{key}\":");
+    let at = text[start..].find(&needle)? + start + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `true`/`false` value of `"key":` after `anchor`.
+fn bool_after(text: &str, anchor: &str, key: &str) -> Option<bool> {
+    let start = text.find(anchor)?;
+    let needle = format!("\"{key}\":");
+    let at = text[start..].find(&needle)? + start + needle.len();
+    let rest = text[at..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn main() {
+    let mut failures = Vec::new();
+
+    // ---- Planner gate ----
+    match std::fs::read_to_string("BENCH_planner.json") {
+        Err(e) => failures.push(format!("cannot read BENCH_planner.json: {e}")),
+        Ok(planner) => {
+            let dp = number_after(
+                &planner,
+                "\"name\": \"dp-bushy/expert\"",
+                "exec_secs_median",
+            );
+            let beam = number_after(
+                &planner,
+                "\"name\": \"beam20-bushy/expert\"",
+                "exec_secs_median",
+            );
+            match (dp, beam) {
+                (Some(dp), Some(beam)) if dp > 0.0 => {
+                    let ratio = beam / dp;
+                    println!(
+                        "planner: beam20/dp executed-latency median ratio {ratio:.4} (max {PLANNER_BEAM_DP_MAX})"
+                    );
+                    if ratio > PLANNER_BEAM_DP_MAX {
+                        failures.push(format!(
+                            "planner regression: beam20/dp executed ratio {ratio:.4} > {PLANNER_BEAM_DP_MAX}"
+                        ));
+                    }
+                }
+                _ => failures.push(
+                    "BENCH_planner.json: missing dp-bushy/beam20-bushy exec_secs_median".into(),
+                ),
+            }
+        }
+    }
+
+    // ---- Learning gate ----
+    match std::fs::read_to_string("BENCH_learning.json") {
+        Err(e) => failures.push(format!("cannot read BENCH_learning.json: {e}")),
+        Ok(learning) => {
+            let smoke = bool_after(&learning, "{", "smoke").unwrap_or(false);
+            let max = if smoke {
+                LEARNED_EXPERT_MAX_SMOKE
+            } else {
+                LEARNED_EXPERT_MAX
+            };
+            let mut checked = 0;
+            for model in ["linear", "tree_conv"] {
+                let anchor = format!("\"model\": \"{model}\"");
+                let Some(ratio) = number_after(&learning, &anchor, "final_vs_expert_ratio") else {
+                    continue;
+                };
+                checked += 1;
+                println!(
+                    "learning[{model}]: learned/expert held-out ratio {ratio:.4} (max {max}, smoke={smoke})"
+                );
+                if ratio > max {
+                    failures.push(format!(
+                        "learning regression: {model} learned/expert ratio {ratio:.4} > {max} (smoke={smoke})"
+                    ));
+                }
+            }
+            if checked == 0 {
+                failures.push("BENCH_learning.json: no model entries found".into());
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench gate: all thresholds hold");
+    } else {
+        for f in &failures {
+            eprintln!("bench gate FAILURE: {f}");
+        }
+        exit(1);
+    }
+}

@@ -1,6 +1,8 @@
 //! Learning-loop benchmark: simulation pretraining + real-execution
 //! fine-tuning on the JOB-like random split, versus the expert DP
-//! baseline, measured in executed (true-cardinality) latencies.
+//! baseline, measured in executed (true-cardinality) latencies — for
+//! **both** value-model families (the linear baseline and the §6
+//! tree-convolution network).
 //!
 //! Writes `BENCH_learning.json` (hand-rolled JSON — the serde shim does
 //! not serialize; see vendor/README.md):
@@ -8,27 +10,30 @@
 //! * `expert_test_median_secs` — median executed latency of the expert
 //!   baseline (DP + expert cost model + histogram estimates) on the
 //!   held-out queries;
-//! * `final_test_median_secs` / `final_vs_expert_ratio` — the held-out
-//!   median of the **validation-selected checkpoint** (which may come
-//!   from an earlier iteration than the last; ratio ≤ 1.0 means the
-//!   learned value model matches or beats the expert);
-//! * `iterations[]` — the full per-iteration trajectory (`sim_hours`,
-//!   train/test medians, timeouts, buffer sizes, fit MSE).
+//! * `models[]` — one entry per trained model variant, each with
+//!   `final_test_median_secs` / `final_vs_expert_ratio` (the held-out
+//!   median of the **validation-selected checkpoint**; ratio ≤ 1.0 means
+//!   the learned value model matches or beats the expert) and the full
+//!   per-iteration trajectory (`sim_hours`, train/test medians,
+//!   timeouts, buffer sizes, fit MSE).
 //!
 //! Run with: `cargo run --release -p balsa-learn --example bench_learning`
-//! Set `BALSA_SMOKE=1` for the CI smoke configuration (small scale, few
-//! iterations).
+//!
+//! * `BALSA_SMOKE=1` — the CI smoke configuration (small scale, few
+//!   iterations).
+//! * `BALSA_MODEL=linear|tree_conv|both` — which value model(s) to
+//!   train (default `both`).
 
 use balsa_card::HistogramEstimator;
 use balsa_engine::ExecutionEnv;
 use balsa_learn::{
-    evaluate_expert_baseline, evaluate_learned, median, train_loop, Featurizer, SgdConfig,
-    TrainConfig,
+    evaluate_expert_baseline, evaluate_learned, median, train_loop, Featurizer, IterationStats,
+    ModelKind, SgdConfig, TrainConfig,
 };
 use balsa_query::workloads::job_workload;
 use balsa_query::Split;
 use balsa_search::SearchMode;
-use balsa_storage::{mini_imdb, DataGenConfig};
+use balsa_storage::{mini_imdb, DataGenConfig, Database};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -41,9 +46,112 @@ fn json_f(x: f64) -> String {
     }
 }
 
+/// One model variant's results.
+struct ModelRun {
+    kind: ModelKind,
+    final_test_median: f64,
+    ratio: f64,
+    wall_secs: f64,
+    trajectory: Vec<IterationStats>,
+}
+
+fn run_model(
+    kind: ModelKind,
+    db: &Arc<Database>,
+    w: &balsa_query::Workload,
+    split: &Split,
+    cfg: &TrainConfig,
+    baseline_env: &ExecutionEnv,
+    expert_test_median: f64,
+) -> ModelRun {
+    let t = Instant::now();
+    let cfg = TrainConfig {
+        model: kind,
+        ..cfg.clone()
+    };
+    // The non-convex tree-conv net wants momentum, a gentler step than
+    // the convex linear fit, and a longer fine-tuning schedule (its
+    // inductive bias starts further from the `C_out` policy, and more
+    // iterations give validation selection more checkpoints).
+    let cfg = match kind {
+        ModelKind::Linear => cfg,
+        ModelKind::TreeConv => TrainConfig {
+            iterations: cfg.iterations + cfg.iterations / 2,
+            pretrain_sgd: SgdConfig {
+                momentum: 0.9,
+                lr: 0.01,
+                ..cfg.pretrain_sgd
+            },
+            finetune_sgd: SgdConfig {
+                momentum: 0.9,
+                lr: 0.005,
+                epochs: cfg.finetune_sgd.epochs + cfg.finetune_sgd.epochs / 2,
+                ..cfg.finetune_sgd
+            },
+            ..cfg
+        },
+    };
+    // Each variant trains on its own environment so neither inherits the
+    // other's plan cache or clock.
+    let env = ExecutionEnv::postgres_sim(db.clone());
+    let outcome = train_loop(db, &env, w, &split.clone(), &cfg);
+    for it in &outcome.trajectory {
+        eprintln!(
+            "[{}] iter {}: sim {:.2}h  train median {:.4}s  val median {:.4}s  val geo {:.4}s  test median {:.4}s  ({} timeouts, {} real exp, mse {:.3})",
+            kind.as_str(),
+            it.iteration,
+            it.sim_hours,
+            it.train_median_secs,
+            it.val_median_secs,
+            it.val_geo_mean_secs,
+            it.test_median_secs,
+            it.timeouts,
+            it.buffer_real,
+            it.fit_mse
+        );
+    }
+    // Final score: the validation-selected checkpoint on held-out
+    // queries, executed on the frozen baseline environment.
+    let featurizer = Featurizer::new(db.clone(), env.profile().weights, env.profile().bushy_hints);
+    let est = HistogramEstimator::new(db);
+    let final_test = evaluate_learned(
+        db,
+        baseline_env,
+        &featurizer,
+        &*outcome.model,
+        &est,
+        w,
+        &split.test,
+        cfg.mode,
+        cfg.beam_width,
+    );
+    let final_test_median = median(&final_test);
+    let ratio = final_test_median / expert_test_median;
+    eprintln!(
+        "[{}] final (selected checkpoint) learned test median {:.4}s vs expert {:.4}s -> ratio {:.3}",
+        kind.as_str(),
+        final_test_median,
+        expert_test_median,
+        ratio
+    );
+    ModelRun {
+        kind,
+        final_test_median,
+        ratio,
+        wall_secs: t.elapsed().as_secs_f64(),
+        trajectory: outcome.trajectory,
+    }
+}
+
 fn main() {
     let t_total = Instant::now();
     let smoke = std::env::var("BALSA_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let kinds: Vec<ModelKind> = match std::env::var("BALSA_MODEL").as_deref() {
+        Ok("linear") => vec![ModelKind::Linear],
+        Ok("tree_conv") => vec![ModelKind::TreeConv],
+        Ok("both") | Err(_) => vec![ModelKind::Linear, ModelKind::TreeConv],
+        Ok(other) => panic!("unknown BALSA_MODEL {other:?} (linear|tree_conv|both)"),
+    };
     let scale = if smoke { 0.05 } else { 1.0 };
     let db = Arc::new(mini_imdb(DataGenConfig {
         scale,
@@ -70,11 +178,10 @@ fn main() {
         TrainConfig::default()
     };
 
-    // Training environment (clock accrues planning + execution + SGD)
-    // and a twin for the frozen baselines.
-    let env = ExecutionEnv::postgres_sim(db.clone());
+    // Frozen environment for the expert baseline and all final scores
+    // (latencies are deterministic per (query, plan), so sharing it
+    // across variants changes nothing but keeps the cache warm).
     let baseline_env = ExecutionEnv::postgres_sim(db.clone());
-
     let expert_test = evaluate_expert_baseline(&db, &baseline_env, &w, &split.test, cfg.mode);
     let expert_train = evaluate_expert_baseline(&db, &baseline_env, &w, &split.train, cfg.mode);
     let expert_test_median = median(&expert_test);
@@ -84,46 +191,16 @@ fn main() {
         split.test.len()
     );
 
-    let outcome = train_loop(&db, &env, &w, &split, &cfg);
-    for it in &outcome.trajectory {
-        eprintln!(
-            "iter {}: sim {:.2}h  train median {:.4}s  val median {:.4}s  test median {:.4}s  ({} timeouts, {} real exp, mse {:.3})",
-            it.iteration,
-            it.sim_hours,
-            it.train_median_secs,
-            it.val_median_secs,
-            it.test_median_secs,
-            it.timeouts,
-            it.buffer_real,
-            it.fit_mse
-        );
-    }
-    // Final score: the validation-selected checkpoint on held-out queries.
-    let featurizer = Featurizer::new(db.clone(), env.profile().weights, env.profile().bushy_hints);
-    let est = HistogramEstimator::new(&db);
-    let final_test = evaluate_learned(
-        &db,
-        &baseline_env,
-        &featurizer,
-        &outcome.model,
-        &est,
-        &w,
-        &split.test,
-        cfg.mode,
-        cfg.beam_width,
-    );
-    let final_test_median = median(&final_test);
-    let ratio = final_test_median / expert_test_median;
-    eprintln!(
-        "final (selected checkpoint) learned test median {:.4}s vs expert {:.4}s -> ratio {:.3}",
-        final_test_median, expert_test_median, ratio
-    );
+    let runs: Vec<ModelRun> = kinds
+        .iter()
+        .map(|&k| run_model(k, &db, &w, &split, &cfg, &baseline_env, expert_test_median))
+        .collect();
 
     // Hand-rolled JSON.
     let mut out = String::new();
     out.push_str("{\n  \"benchmark\": \"learning\",\n");
     let _ = writeln!(out, "  \"workload\": \"job_like\",");
-    let _ = writeln!(out, "  \"engine\": \"{}\",", env.profile().name);
+    let _ = writeln!(out, "  \"engine\": \"{}\",", baseline_env.profile().name);
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -160,48 +237,60 @@ fn main() {
     );
     let _ = writeln!(
         out,
-        "  \"final_test_median_secs\": {},",
-        json_f(final_test_median)
-    );
-    let _ = writeln!(out, "  \"final_vs_expert_ratio\": {},", json_f(ratio));
-    let _ = writeln!(
-        out,
         "  \"wall_secs_total\": {},",
         json_f(t_total.elapsed().as_secs_f64())
     );
-    out.push_str("  \"iterations\": [\n");
-    for (i, it) in outcome.trajectory.iter().enumerate() {
+    out.push_str("  \"models\": [\n");
+    for (mi, run) in runs.iter().enumerate() {
         let _ = writeln!(out, "    {{");
-        let _ = writeln!(out, "      \"iteration\": {},", it.iteration);
-        let _ = writeln!(out, "      \"sim_hours\": {},", json_f(it.sim_hours));
+        let _ = writeln!(out, "      \"model\": \"{}\",", run.kind.as_str());
         let _ = writeln!(
             out,
-            "      \"train_median_secs\": {},",
-            json_f(it.train_median_secs)
+            "      \"final_test_median_secs\": {},",
+            json_f(run.final_test_median)
         );
         let _ = writeln!(
             out,
-            "      \"val_median_secs\": {},",
-            json_f(it.val_median_secs)
+            "      \"final_vs_expert_ratio\": {},",
+            json_f(run.ratio)
         );
-        let _ = writeln!(
-            out,
-            "      \"test_median_secs\": {},",
-            json_f(it.test_median_secs)
-        );
-        let _ = writeln!(out, "      \"timeouts\": {},", it.timeouts);
-        let _ = writeln!(out, "      \"buffer_real\": {},", it.buffer_real);
-        let _ = writeln!(out, "      \"buffer_sim\": {},", it.buffer_sim);
-        let _ = writeln!(out, "      \"fit_mse\": {}", json_f(it.fit_mse));
-        let _ = writeln!(
-            out,
-            "    }}{}",
-            if i + 1 < outcome.trajectory.len() {
-                ","
-            } else {
-                ""
-            }
-        );
+        let _ = writeln!(out, "      \"wall_secs\": {},", json_f(run.wall_secs));
+        out.push_str("      \"iterations\": [\n");
+        for (i, it) in run.trajectory.iter().enumerate() {
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"iteration\": {},", it.iteration);
+            let _ = writeln!(out, "          \"sim_hours\": {},", json_f(it.sim_hours));
+            let _ = writeln!(
+                out,
+                "          \"train_median_secs\": {},",
+                json_f(it.train_median_secs)
+            );
+            let _ = writeln!(
+                out,
+                "          \"val_median_secs\": {},",
+                json_f(it.val_median_secs)
+            );
+            let _ = writeln!(
+                out,
+                "          \"test_median_secs\": {},",
+                json_f(it.test_median_secs)
+            );
+            let _ = writeln!(out, "          \"timeouts\": {},", it.timeouts);
+            let _ = writeln!(out, "          \"buffer_real\": {},", it.buffer_real);
+            let _ = writeln!(out, "          \"buffer_sim\": {},", it.buffer_sim);
+            let _ = writeln!(out, "          \"fit_mse\": {}", json_f(it.fit_mse));
+            let _ = writeln!(
+                out,
+                "        }}{}",
+                if i + 1 < run.trajectory.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        out.push_str("      ]\n");
+        let _ = writeln!(out, "    }}{}", if mi + 1 < runs.len() { "," } else { "" });
     }
     out.push_str("  ]\n}\n");
 

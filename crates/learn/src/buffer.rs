@@ -196,6 +196,83 @@ mod tests {
         assert!((real.ys[0] - 0.5f64.ln()).abs() < 1e-12);
     }
 
+    /// Property test: against randomized record sequences, the buffer
+    /// always stores exactly what the reference semantics dictate — the
+    /// minimum completed latency when any completed observation exists,
+    /// otherwise the maximum (tightest) censored lower bound — and every
+    /// merge step preserves the monotonicity invariants (completed
+    /// labels never increase, censored bounds never decrease, censored
+    /// never displaces completed).
+    #[test]
+    fn randomized_merges_match_reference_semantics() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        use std::collections::HashMap;
+
+        for seed in 0..25u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut buffer = ExperienceBuffer::new();
+            // Reference: per key, all completed and censored labels seen.
+            type Key = (u64, u64, LabelSource);
+            let mut seen: HashMap<Key, (Vec<f64>, Vec<f64>)> = HashMap::new();
+            for _ in 0..300 {
+                let qk = rng.random_range(0..2u64);
+                let fp = rng.random_range(0..5u64);
+                let source = if rng.random_bool(0.3) {
+                    LabelSource::Simulated
+                } else {
+                    LabelSource::Real
+                };
+                let censored = rng.random_bool(0.4);
+                let label = (rng.random_range(1..100u32) as f64) / 10.0;
+                let before = buffer
+                    .get(qk, fp, source)
+                    .map(|e| (e.censored, e.label_secs));
+                buffer.record(Experience {
+                    query_key: qk,
+                    fingerprint: fp,
+                    features: vec![label],
+                    label_secs: label,
+                    censored,
+                    source,
+                });
+                let (completed, bounds) = seen.entry((qk, fp, source)).or_default();
+                if censored {
+                    bounds.push(label);
+                } else {
+                    completed.push(label);
+                }
+                let after = buffer.get(qk, fp, source).expect("just recorded");
+                // Monotonicity of the merge step.
+                if let Some((was_censored, was_label)) = before {
+                    match (was_censored, after.censored) {
+                        (false, true) => panic!("censored displaced completed (seed {seed})"),
+                        (false, false) => assert!(after.label_secs <= was_label),
+                        (true, true) => assert!(after.label_secs >= was_label),
+                        (true, false) => {} // completion always wins
+                    }
+                }
+                // Reference semantics after every step.
+                if completed.is_empty() {
+                    assert!(after.censored);
+                    assert_eq!(
+                        after.label_secs,
+                        bounds.iter().cloned().fold(f64::MIN, f64::max),
+                        "tightest bound retained (seed {seed})"
+                    );
+                } else {
+                    assert!(!after.censored, "completed must win (seed {seed})");
+                    assert_eq!(
+                        after.label_secs,
+                        completed.iter().cloned().fold(f64::MAX, f64::min),
+                        "best completed latency retained (seed {seed})"
+                    );
+                }
+            }
+            assert_eq!(buffer.len(), seen.len());
+        }
+    }
+
     #[test]
     fn train_set_is_deterministic() {
         let mut b = ExperienceBuffer::new();

@@ -20,19 +20,35 @@
 //! * **operator and shape channels** — join/scan operator counts, tree
 //!   depth, plan shape, and the engine mode (bushy hints or not).
 //!
+//! Besides the **flat** encoding above (one vector per state, consumed
+//! by the linear model), the featurizer emits the **tree** encoding for
+//! the §6 tree-convolution network: per-node feature rows
+//! ([`Featurizer::node_features`] — operator one-hots, output/input
+//! log-cardinalities, selectivity, own operator work, table coverage)
+//! in the binary-tree tensor layout ([`Featurizer::featurize_tree`]).
+//! [`FlatState`] is the flat encoding's incremental form: scan states
+//! start the chain and [`Featurizer::flat_join_state`] composes a
+//! join's vector from its children in O(tables + edges), bit-identical
+//! to a from-scratch featurization — the beam's O(1) scoring hook.
+//!
 //! Features are a pure function of `(query, plan, estimates)`: two
 //! fingerprint-equal subplans of the same query always featurize
 //! identically, and the vector length is constant across queries — the
 //! invariants the training loop relies on for experience dedup.
 
+use crate::model::FeatureEncoding;
+use crate::treeconv::encode_tree;
 use balsa_card::CardEstimator;
-use balsa_cost::{physical_cost, OpWeights};
-use balsa_query::{Plan, PlanShape, Query};
+use balsa_cost::{join_cost, physical_cost, scan_cost, OpWeights, SubtreeCost};
+use balsa_query::{JoinOp, Plan, PlanShape, Query, ScanOp};
 use balsa_storage::Database;
 use std::sync::Arc;
 
 /// Number of scalar (non-per-table, non-per-pair) channels.
 const SCALAR_CHANNELS: usize = 17;
+
+/// Number of non-per-table channels in the per-node encoding.
+const NODE_SCALAR_CHANNELS: usize = 13;
 
 /// Maps `(query, partial plan)` states to fixed-length feature vectors.
 pub struct Featurizer {
@@ -109,16 +125,13 @@ impl Featurizer {
         // Cardinality and cost channels (log-scaled). Besides the totals
         // (`C_out`, expert cost), the *bottleneck* channels — the largest
         // estimated intermediate and the most expensive single operator —
-        // carry most of the latency signal.
+        // carry most of the latency signal. Accumulated bottom-up in the
+        // same association order as the incremental composition
+        // ([`Featurizer::flat_join_state`]), so composed and from-scratch
+        // vectors are bit-identical.
         let base = 3 * t + 2 * p;
         let out_card = est.cardinality(query, mask).max(0.0);
-        let mut cout = 0.0;
-        let mut max_card = 0.0f64;
-        plan.visit(&mut |node| {
-            let c = est.cardinality(query, node.mask()).max(0.0);
-            cout += c;
-            max_card = max_card.max(c);
-        });
+        let (cout, max_card) = self.card_channels(query, plan, est);
         let mut nodes = Vec::new();
         let expert = physical_cost(&self.db, query, plan, est, &self.weights, Some(&mut nodes));
         let max_node_work = nodes.iter().map(|n| n.work).fold(0.0f64, f64::max);
@@ -147,6 +160,307 @@ impl Featurizer {
         x[base + 14] = 1.0; // bias channel
         x
     }
+
+    /// `(C_out, max intermediate)` of a subtree, accumulated children
+    /// first (`left + right + own`) so composition reproduces it exactly.
+    fn card_channels(&self, query: &Query, plan: &Plan, est: &dyn CardEstimator) -> (f64, f64) {
+        let own = est.cardinality(query, plan.mask()).max(0.0);
+        match plan {
+            Plan::Scan { .. } => (own, own),
+            Plan::Join { left, right, .. } => {
+                let (lc, lm) = self.card_channels(query, left, est);
+                let (rc, rm) = self.card_channels(query, right, est);
+                (lc + rc + own, lm.max(rm).max(own))
+            }
+        }
+    }
+
+    /// Encodes `plan` under `enc` — the dispatch point for model-specific
+    /// state encodings.
+    pub fn featurize_enc(
+        &self,
+        enc: FeatureEncoding,
+        query: &Query,
+        plan: &Plan,
+        est: &dyn CardEstimator,
+    ) -> Vec<f64> {
+        match enc {
+            FeatureEncoding::Flat => self.featurize(query, plan, est),
+            FeatureEncoding::Tree => self.featurize_tree(query, plan, est),
+        }
+    }
+
+    /// The per-node encoding dimension of the tree-tensor layout.
+    pub fn node_dim(&self) -> usize {
+        NODE_SCALAR_CHANNELS + self.num_tables
+    }
+
+    /// Featurizes ONE plan node (not its subtree): operator one-hots,
+    /// leaf flag, coverage, log-cardinality and selectivity of the
+    /// node's output, input cardinalities, the node's own estimated
+    /// operator work, and per-catalog-table coverage counts. This is the
+    /// per-node row of the §6 tree-convolution input — everything is
+    /// O(tables + edges) per node, so incremental beam scoring stays
+    /// O(1) in the subtree size.
+    pub fn node_features(&self, query: &Query, node: &Plan, est: &dyn CardEstimator) -> Vec<f64> {
+        let mut x = vec![0.0; self.node_dim()];
+        match node {
+            Plan::Join {
+                op, left, right, ..
+            } => {
+                let slot = match op {
+                    JoinOp::Hash => 0,
+                    JoinOp::Merge => 1,
+                    JoinOp::NestLoop => 2,
+                };
+                x[slot] = 1.0;
+                // Input cardinalities and this operator's own estimated
+                // work. The children's summaries are synthesized from
+                // their output cardinalities alone (no sort orders, zero
+                // accumulated work), so this is the node's marginal work
+                // with merge sorts always paid — an O(1) approximation of
+                // the expert's per-node cost channel.
+                let lcard = est.cardinality(query, left.mask()).max(0.0);
+                let rcard = est.cardinality(query, right.mask()).max(0.0);
+                let bare = |rows: f64| SubtreeCost {
+                    work: 0.0,
+                    out_rows: rows,
+                    sorted_on: Vec::new(),
+                };
+                let sc = join_cost(
+                    &self.db,
+                    query,
+                    *op,
+                    left,
+                    &bare(lcard),
+                    right,
+                    &bare(rcard),
+                    est,
+                    &self.weights,
+                );
+                x[10] = lcard.ln_1p();
+                x[11] = rcard.ln_1p();
+                x[12] = sc.work.max(0.0).ln_1p();
+            }
+            Plan::Scan { qt, op } => {
+                let slot = match op {
+                    ScanOp::Seq => 3,
+                    ScanOp::Index => 4,
+                };
+                x[slot] = 1.0;
+                x[5] = 1.0; // leaf flag
+                let sc = scan_cost(&self.db, query, *qt as usize, *op, est, &self.weights);
+                x[12] = sc.work.max(0.0).ln_1p();
+            }
+        }
+        let mask = node.mask();
+        x[6] = node.num_tables() as f64 / query.num_tables().max(1) as f64;
+        x[7] = est.cardinality(query, mask).max(0.0).ln_1p();
+        for (qt, qtab) in query.tables.iter().enumerate() {
+            if mask.contains(qt) {
+                x[8] += est.selectivity(query, qt);
+                x[NODE_SCALAR_CHANNELS + qtab.table] += 1.0;
+            }
+        }
+        x[9] = 1.0; // bias channel
+        x
+    }
+
+    /// Encodes `plan` in the flat binary-tree tensor layout consumed by
+    /// [`crate::TreeConvValueModel`]: per-node feature rows in post-order
+    /// plus child indices ([`crate::treeconv::encode_tree`]). Pure, like
+    /// [`Featurizer::featurize`].
+    pub fn featurize_tree(&self, query: &Query, plan: &Plan, est: &dyn CardEstimator) -> Vec<f64> {
+        let mut feats = Vec::new();
+        let mut children = Vec::new();
+        plan.visit_tensor(&mut |node, kids| {
+            feats.push(self.node_features(query, node, est));
+            children.push(kids);
+        });
+        encode_tree(&feats, &children)
+    }
+
+    /// Incremental flat-encoding state for a scan leaf — the start of the
+    /// O(1)-per-join composition chain ([`Featurizer::flat_join_state`]).
+    pub fn flat_scan_state(
+        &self,
+        query: &Query,
+        scan: &Plan,
+        est: &dyn CardEstimator,
+    ) -> FlatState {
+        let (qt, op) = match scan {
+            Plan::Scan { qt, op } => (*qt as usize, *op),
+            Plan::Join { .. } => panic!("flat_scan_state on a join"),
+        };
+        let x = self.featurize(query, scan, est);
+        let card = est.cardinality(query, scan.mask()).max(0.0);
+        let expert = scan_cost(&self.db, query, qt, op, est, &self.weights);
+        FlatState {
+            max_node_work: expert.work,
+            x,
+            cout: card,
+            max_card: card,
+            expert,
+            depth: 1,
+            left_deep: true,
+            right_deep: true,
+            is_leaf: true,
+        }
+    }
+
+    /// Composes the flat-encoding state of a join from its children's
+    /// states without re-walking the subtree: O(tables + edges) per
+    /// candidate instead of O(subtree). Produces a vector bit-identical
+    /// to [`Featurizer::featurize`] on the same join.
+    pub fn flat_join_state(
+        &self,
+        query: &Query,
+        join: &Plan,
+        l: &FlatState,
+        r: &FlatState,
+        est: &dyn CardEstimator,
+    ) -> FlatState {
+        let (op, left, right, mask) = match join {
+            Plan::Join {
+                op,
+                left,
+                right,
+                mask,
+            } => (*op, left, right, *mask),
+            Plan::Scan { .. } => panic!("flat_join_state on a scan"),
+        };
+        let t = self.num_tables;
+        let p = self.num_pairs();
+        let base = 3 * t + 2 * p;
+
+        // Query-level channels (x[t..3t], query-total edges, engine mode,
+        // bias) carry over from either child; start from the left's.
+        let mut x = l.x.clone();
+
+        // Plan coverage counts add.
+        for (tid, slot) in x.iter_mut().enumerate().take(t) {
+            *slot = l.x[tid] + r.x[tid];
+        }
+        // Absorbed join-graph edges: recompute against the joined mask
+        // (O(edges); identical accumulation to `featurize`).
+        for slot in &mut x[3 * t..3 * t + p] {
+            *slot = 0.0;
+        }
+        for e in &query.joins {
+            let ta = query.tables[e.left_qt].table;
+            let tb = query.tables[e.right_qt].table;
+            if ta == tb {
+                continue;
+            }
+            if mask.contains(e.left_qt) && mask.contains(e.right_qt) {
+                x[3 * t + self.pair_index(ta, tb)] += 1.0;
+            }
+        }
+
+        // Cardinality and cost channels, composed in the same association
+        // order as `featurize`'s bottom-up accumulation.
+        let out_card = est.cardinality(query, mask).max(0.0);
+        let cout = l.cout + r.cout + out_card;
+        let max_card = l.max_card.max(r.max_card).max(out_card);
+        let expert = join_cost(
+            &self.db,
+            query,
+            op,
+            left,
+            &l.expert,
+            right,
+            &r.expert,
+            est,
+            &self.weights,
+        );
+        let node_work = expert.work - l.expert.work - r.expert.work;
+        let max_node_work = l.max_node_work.max(r.max_node_work).max(node_work);
+        x[base] = out_card.ln_1p();
+        x[base + 1] = cout.ln_1p();
+        x[base + 2] = expert.work.max(0.0).ln_1p();
+        x[base + 15] = max_card.ln_1p();
+        x[base + 16] = max_node_work.max(0.0).ln_1p();
+
+        // Operator, shape, and progress channels. Counts divide by 16
+        // (exact dyadic), so sums of children's channels equal the
+        // from-scratch counts.
+        let n_query = query.num_tables() as f64;
+        let num_tables = mask.count();
+        x[base + 3] = num_tables as f64 / n_query.max(1.0);
+        x[base + 4] = num_tables.saturating_sub(1) as f64 / 16.0;
+        for c in 5..=9 {
+            x[base + c] = l.x[base + c] + r.x[base + c];
+        }
+        let op_slot = match op {
+            JoinOp::Hash => 5,
+            JoinOp::Merge => 6,
+            JoinOp::NestLoop => 7,
+        };
+        x[base + op_slot] += 1.0 / 16.0;
+        let depth = l.depth.max(r.depth) + 1;
+        x[base + 10] = depth as f64 / 16.0;
+        // Shape flags compose exactly like `Plan::shape`'s recursion:
+        // left-deep when the right child is a leaf atop a left-deep
+        // spine; bushy when neither deep form holds (left-deep wins when
+        // both hold, as in `PlanShape`).
+        let left_deep = r.is_leaf && l.left_deep;
+        let right_deep = l.is_leaf && r.right_deep;
+        x[base + 11] = left_deep as u8 as f64;
+        x[base + 12] = (!left_deep && !right_deep) as u8 as f64;
+
+        FlatState {
+            x,
+            cout,
+            max_card,
+            max_node_work,
+            expert,
+            depth,
+            left_deep,
+            right_deep,
+            is_leaf: false,
+        }
+    }
+
+    /// Builds a [`FlatState`] for an arbitrary subtree from scratch (the
+    /// fallback when no composed child states are available).
+    pub fn flat_state(&self, query: &Query, plan: &Plan, est: &dyn CardEstimator) -> FlatState {
+        match plan {
+            Plan::Scan { .. } => self.flat_scan_state(query, plan, est),
+            Plan::Join { left, right, .. } => {
+                let l = self.flat_state(query, left, est);
+                let r = self.flat_state(query, right, est);
+                self.flat_join_state(query, plan, &l, &r, est)
+            }
+        }
+    }
+}
+
+/// The incremental state of the flat encoding for one subtree: the
+/// feature vector itself plus the compositional scalars the next join up
+/// needs. Threaded through beam search via the
+/// [`balsa_cost::ScoredTree::ext`] child hook, it turns per-candidate
+/// featurization from O(subtree) into O(1).
+#[derive(Debug, Clone)]
+pub struct FlatState {
+    /// The subtree's flat feature vector (equals
+    /// [`Featurizer::featurize`] exactly).
+    pub x: Vec<f64>,
+    /// Summed estimated cardinality over all nodes (`C_out`).
+    cout: f64,
+    /// Largest estimated intermediate cardinality.
+    max_card: f64,
+    /// Most expensive single operator (expert work).
+    max_node_work: f64,
+    /// Expert physical summary of the subtree (compositional).
+    expert: SubtreeCost,
+    /// Tree height.
+    depth: u32,
+    /// Whether every join's right input (so far) is a base table.
+    left_deep: bool,
+    /// Whether every join's left input (so far) is a base table.
+    right_deep: bool,
+    /// Whether this subtree is a single scan.
+    is_leaf: bool,
 }
 
 #[cfg(test)]
@@ -243,5 +557,107 @@ mod tests {
         assert_ne!(f.featurize(q, &hash, &est), f.featurize(q, &merge, &est));
         let leaf = Plan::scan(e.left_qt, ScanOp::Seq);
         assert_ne!(f.featurize(q, &hash, &est), f.featurize(q, &leaf, &est));
+    }
+
+    /// The O(1) composition chain ([`Featurizer::flat_join_state`])
+    /// produces vectors **bit-identical** to from-scratch featurization,
+    /// across random plans of both shapes — the invariant that lets the
+    /// beam's incremental scoring path replace per-candidate re-walks.
+    #[test]
+    fn composed_flat_features_equal_from_scratch() {
+        use balsa_search::{random_plan, SearchMode};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let (db, w) = fixture();
+        let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+        let est = HistogramEstimator::new(&db);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for q in w.queries.iter().take(12) {
+            for mode in [SearchMode::Bushy, SearchMode::LeftDeep] {
+                let plan = random_plan(&db, q, mode, &mut rng);
+                // Compose bottom-up over every subtree and compare each
+                // level against the from-scratch encode.
+                fn check(
+                    f: &Featurizer,
+                    q: &balsa_query::Query,
+                    p: &Plan,
+                    est: &dyn balsa_card::CardEstimator,
+                ) -> crate::featurize::FlatState {
+                    let st = match p {
+                        Plan::Scan { .. } => f.flat_scan_state(q, p, est),
+                        Plan::Join { left, right, .. } => {
+                            let l = check(f, q, left, est);
+                            let r = check(f, q, right, est);
+                            f.flat_join_state(q, p, &l, &r, est)
+                        }
+                    };
+                    assert_eq!(
+                        st.x,
+                        f.featurize(q, p, est),
+                        "{}: composed != scratch for {p}",
+                        q.name
+                    );
+                    st
+                }
+                check(&f, q, &plan, &est);
+            }
+        }
+    }
+
+    /// The tree encoding is self-describing, sized `2 + n(2 + d)`, and
+    /// its per-node rows match [`Featurizer::node_features`] in
+    /// post-order.
+    #[test]
+    fn tree_encoding_layout_and_node_rows() {
+        let (db, w) = fixture();
+        let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+        let est = HistogramEstimator::new(&db);
+        let q = w.queries.iter().find(|q| q.num_tables() >= 3).unwrap();
+        let e = q.joins[0];
+        let plan = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(e.left_qt, ScanOp::Seq),
+            Plan::scan(e.right_qt, ScanOp::Index),
+        );
+        let x = f.featurize_tree(q, &plan, &est);
+        let d = f.node_dim();
+        assert_eq!(x[0] as usize, 3);
+        assert_eq!(x[1] as usize, d);
+        assert_eq!(x.len(), 2 + 3 * (2 + d));
+        let post = plan.subtrees_post_order();
+        for (i, sub) in post.iter().enumerate() {
+            let row = &x[2 + i * (2 + d) + 2..2 + i * (2 + d) + 2 + d];
+            assert_eq!(row, &f.node_features(q, sub, &est)[..], "node {i}");
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+        // Root child slots point at the two leaves.
+        let root_rec = 2 + 2 * (2 + d);
+        assert_eq!((x[root_rec], x[root_rec + 1]), (1.0, 2.0));
+        // Operator one-hots distinguish scan kinds and the join.
+        let seq = f.node_features(q, &post[0], &est);
+        let idx = f.node_features(q, &post[1], &est);
+        let join = f.node_features(q, &post[2], &est);
+        assert_eq!((seq[3], seq[4], seq[5]), (1.0, 0.0, 1.0));
+        assert_eq!((idx[3], idx[4], idx[5]), (0.0, 1.0, 1.0));
+        assert_eq!((join[0], join[5]), (1.0, 0.0));
+    }
+
+    /// `featurize_enc` dispatches to the two encodings.
+    #[test]
+    fn featurize_enc_dispatch() {
+        use crate::model::FeatureEncoding;
+        let (db, w) = fixture();
+        let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+        let est = HistogramEstimator::new(&db);
+        let q = &w.queries[0];
+        let p = Plan::scan(0, ScanOp::Seq);
+        assert_eq!(
+            f.featurize_enc(FeatureEncoding::Flat, q, &p, &est),
+            f.featurize(q, &p, &est)
+        );
+        assert_eq!(
+            f.featurize_enc(FeatureEncoding::Tree, q, &p, &est),
+            f.featurize_tree(q, &p, &est)
+        );
     }
 }

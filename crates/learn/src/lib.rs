@@ -7,10 +7,12 @@
 //! * [`Featurizer`] — §7's encoding of `(query, partial plan)` states:
 //!   table one-hots, join-graph edge channels, estimated-cardinality and
 //!   cost channels, operator/shape channels, and the engine mode.
-//! * [`ValueModel`] / [`LinearValueModel`] — the learned predictor of a
-//!   subplan's log latency; linear ridge regression by minibatch SGD
-//!   today, with the trait boundary where the paper's tree-convolution
-//!   net slots in later.
+//! * [`ValueModel`] / [`LinearValueModel`] / [`TreeConvValueModel`] —
+//!   the learned predictor of a subplan's log latency: a ridge linear
+//!   regressor over the flat encoding, and the paper's tree-convolution
+//!   network (§6) over the per-node binary-tree tensor encoding (triple
+//!   filters, dynamic max-pooling, MLP head, manual backprop), both
+//!   trained by the same censored-hinge minibatch SGD.
 //! * [`ExperienceBuffer`] — deduplicated per-subplan labels from both
 //!   simulated (`C_out`) and real (`ExecutionEnv`, timeout-censored)
 //!   runs, with best-label retention (§4.2).
@@ -26,12 +28,17 @@ pub mod featurize;
 pub mod model;
 pub mod scorer;
 pub mod train;
+pub mod treeconv;
 
 pub use buffer::{Experience, ExperienceBuffer, LabelSource};
-pub use featurize::Featurizer;
-pub use model::{FitReport, LinearValueModel, SgdConfig, TrainSet, ValueModel};
+pub use featurize::{Featurizer, FlatState};
+pub use model::{
+    FeatureEncoding, FitReport, LinearValueModel, ModelKind, ModelState, ResidualValueModel,
+    SgdConfig, TrainSet, ValueModel,
+};
 pub use scorer::LearnedScorer;
 pub use train::{
-    evaluate_expert_baseline, evaluate_learned, median, train_loop, IterationStats, TrainConfig,
-    TrainOutcome,
+    evaluate_expert_baseline, evaluate_learned, geo_mean, make_model, median, train_loop,
+    IterationStats, TrainConfig, TrainOutcome,
 };
+pub use treeconv::{TreeConvConfig, TreeConvValueModel};

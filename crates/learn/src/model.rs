@@ -14,6 +14,47 @@
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SliceRandomExt};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Negative-side slope of the leaky ReLU used by the neural models.
+pub const LRELU_SLOPE: f64 = 0.01;
+
+/// Which state encoding a model consumes, and therefore which
+/// [`crate::Featurizer`] output must feed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureEncoding {
+    /// One fixed-length vector per `(query, subplan)` state
+    /// ([`crate::Featurizer::featurize`]).
+    Flat,
+    /// The flat binary-tree tensor encoding — per-node feature rows plus
+    /// child indices ([`crate::Featurizer::featurize_tree`]).
+    Tree,
+}
+
+/// Which value-model family to instantiate (checkpoint selection in the
+/// training loop and model flags in the benchmarks go through this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Ridge-regularized linear regressor over the flat encoding.
+    Linear,
+    /// Tree-convolution network over the per-node encoding (§6).
+    TreeConv,
+}
+
+impl ModelKind {
+    /// Stable name used in benchmark JSON and CLI flags.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ModelKind::Linear => "linear",
+            ModelKind::TreeConv => "tree_conv",
+        }
+    }
+}
+
+/// Opaque incremental per-subtree inference state threaded through the
+/// beam's [`balsa_cost::ScoredTree`] child hooks.
+pub type ModelState = Arc<dyn Any + Send + Sync>;
 
 /// Minibatch-SGD hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +67,9 @@ pub struct SgdConfig {
     pub lr: f64,
     /// L2 (ridge) penalty on the weights (not the bias).
     pub l2: f64,
+    /// Classical momentum on the parameter updates (0 disables; the
+    /// tree-convolution net wants ~0.9, the convex linear fit none).
+    pub momentum: f64,
 }
 
 impl Default for SgdConfig {
@@ -35,6 +79,7 @@ impl Default for SgdConfig {
             batch: 64,
             lr: 0.03,
             l2: 1e-4,
+            momentum: 0.0,
         }
     }
 }
@@ -73,17 +118,66 @@ pub struct FitReport {
     pub mse: f64,
 }
 
-/// Predicts a scalar value (log latency) from a feature vector.
+/// Predicts a scalar value (log latency) from an encoded state.
 pub trait ValueModel: Send + Sync {
     /// Model name for reports.
-    fn name(&self) -> &'static str;
+    fn name(&self) -> String;
 
-    /// Predicts the log-latency for one feature vector.
+    /// Which featurizer encoding this model consumes.
+    fn encoding(&self) -> FeatureEncoding {
+        FeatureEncoding::Flat
+    }
+
+    /// Whether the model has been fit at least once.
+    fn is_fitted(&self) -> bool;
+
+    /// Predicts the log-latency for one encoded state.
     fn predict(&self, x: &[f64]) -> f64;
 
-    /// Trains on `data`, continuing from the current parameters
+    /// Trains on `data` (consumed — extraction from the buffer already
+    /// yields an owned set), continuing from the current parameters
     /// (fine-tuning when called repeatedly).
-    fn fit(&mut self, data: &TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport;
+    fn fit(&mut self, data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport;
+
+    /// All parameters as one flat vector — the serialization-ready
+    /// checkpoint form, and the exact-equality witness the determinism
+    /// tests compare.
+    fn params(&self) -> Vec<f64>;
+
+    /// Clones the model behind the trait (checkpointing).
+    fn clone_box(&self) -> Box<dyn ValueModel>;
+
+    /// Opens an incremental inference state for a scan leaf whose
+    /// per-node encoding is `node_x`. `None` when the model scores only
+    /// full encodings; callers then fall back to [`ValueModel::predict`].
+    fn leaf_state(&self, node_x: &[f64]) -> Option<ModelState> {
+        let _ = node_x;
+        None
+    }
+
+    /// Composes the state of a join node from its children's states in
+    /// O(1) — the beam's per-candidate hot path.
+    fn join_state(
+        &self,
+        node_x: &[f64],
+        left: &ModelState,
+        right: &ModelState,
+    ) -> Option<ModelState> {
+        let _ = (node_x, left, right);
+        None
+    }
+
+    /// The predicted log-latency of an incremental state.
+    fn state_value(&self, state: &ModelState) -> Option<f64> {
+        let _ = state;
+        None
+    }
+}
+
+impl Clone for Box<dyn ValueModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Ridge-regularized linear regressor over standardized features.
@@ -173,8 +267,24 @@ impl LinearValueModel {
 }
 
 impl ValueModel for LinearValueModel {
-    fn name(&self) -> &'static str {
-        "linear"
+    fn name(&self) -> String {
+        "linear".into()
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn params(&self) -> Vec<f64> {
+        // Raw-space form, so two models that predict identically have
+        // identical parameter vectors regardless of standardization.
+        let (mut v, b) = self.raw_form();
+        v.push(b);
+        v
+    }
+
+    fn clone_box(&self) -> Box<dyn ValueModel> {
+        Box::new(self.clone())
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
@@ -184,7 +294,7 @@ impl ValueModel for LinearValueModel {
         self.raw_predict(&z)
     }
 
-    fn fit(&mut self, data: &TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
+    fn fit(&mut self, data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
         assert_eq!(data.xs.len(), data.ys.len());
         assert_eq!(data.censored.len(), data.ys.len());
         if data.is_empty() {
@@ -226,6 +336,7 @@ impl ValueModel for LinearValueModel {
 
         let mut order: Vec<usize> = (0..n).collect();
         let mut grad = vec![0.0; dim];
+        let mut vel = vec![0.0; dim + 1];
         let mut steps = 0u64;
         for _epoch in 0..cfg.epochs {
             order.shuffle(rng);
@@ -249,10 +360,13 @@ impl ValueModel for LinearValueModel {
                 }
                 if active > 0 {
                     let inv = 1.0 / active as f64;
-                    for (w, g) in self.w.iter_mut().zip(&grad) {
-                        *w -= cfg.lr * (g * inv + cfg.l2 * *w);
+                    for ((w, g), v) in self.w.iter_mut().zip(&grad).zip(&mut vel) {
+                        *v = cfg.momentum * *v + g * inv + cfg.l2 * *w;
+                        *w -= cfg.lr * *v;
                     }
-                    self.b -= cfg.lr * gb * inv;
+                    let vb = &mut vel[dim];
+                    *vb = cfg.momentum * *vb + gb * inv;
+                    self.b -= cfg.lr * *vb;
                 }
                 steps += 1;
             }
@@ -272,6 +386,105 @@ impl ValueModel for LinearValueModel {
             .sum::<f64>()
             / n as f64;
         FitReport { steps, mse }
+    }
+}
+
+/// A frozen base model plus a trainable correction, predicting the sum
+/// of both — the model-agnostic form of residual fine-tuning (§4.2): the
+/// simulation phase's model stays fixed and real-execution evidence only
+/// trains the correction. For linear models this predicts exactly what
+/// [`LinearValueModel::merged_with`] collapses to; for the tree-conv net
+/// it is the only way to keep the pretrained policy as the anchor.
+pub struct ResidualValueModel {
+    base: Box<dyn ValueModel>,
+    correction: Box<dyn ValueModel>,
+}
+
+impl ResidualValueModel {
+    /// Wraps `base` (frozen) with a trainable `correction`. Both must
+    /// consume the same encoding.
+    pub fn new(base: Box<dyn ValueModel>, correction: Box<dyn ValueModel>) -> Self {
+        assert_eq!(
+            base.encoding(),
+            correction.encoding(),
+            "base and correction must share an encoding"
+        );
+        Self { base, correction }
+    }
+
+    /// The frozen base model.
+    pub fn base(&self) -> &dyn ValueModel {
+        &*self.base
+    }
+
+    /// The trainable correction model.
+    pub fn correction(&self) -> &dyn ValueModel {
+        &*self.correction
+    }
+}
+
+impl ValueModel for ResidualValueModel {
+    fn name(&self) -> String {
+        format!("{}+res", self.base.name())
+    }
+
+    fn encoding(&self) -> FeatureEncoding {
+        self.base.encoding()
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.base.is_fitted() || self.correction.is_fitted()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.base.predict(x) + self.correction.predict(x)
+    }
+
+    /// Fits the correction on the residual labels `y − base(x)` (labels
+    /// are adjusted in place — no copy of the feature vectors). A
+    /// censored lower bound on `y` remains a lower bound on the residual.
+    fn fit(&mut self, mut data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
+        for (x, y) in data.xs.iter().zip(data.ys.iter_mut()) {
+            *y -= self.base.predict(x);
+        }
+        self.correction.fit(data, cfg, rng)
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut v = self.base.params();
+        v.extend(self.correction.params());
+        v
+    }
+
+    fn clone_box(&self) -> Box<dyn ValueModel> {
+        Box::new(ResidualValueModel {
+            base: self.base.clone_box(),
+            correction: self.correction.clone_box(),
+        })
+    }
+
+    fn leaf_state(&self, node_x: &[f64]) -> Option<ModelState> {
+        let b = self.base.leaf_state(node_x)?;
+        let c = self.correction.leaf_state(node_x)?;
+        Some(Arc::new((b, c)))
+    }
+
+    fn join_state(
+        &self,
+        node_x: &[f64],
+        left: &ModelState,
+        right: &ModelState,
+    ) -> Option<ModelState> {
+        let (lb, lc) = left.downcast_ref::<(ModelState, ModelState)>()?;
+        let (rb, rc) = right.downcast_ref::<(ModelState, ModelState)>()?;
+        let b = self.base.join_state(node_x, lb, rb)?;
+        let c = self.correction.join_state(node_x, lc, rc)?;
+        Some(Arc::new((b, c)))
+    }
+
+    fn state_value(&self, state: &ModelState) -> Option<f64> {
+        let (b, c) = state.downcast_ref::<(ModelState, ModelState)>()?;
+        Some(self.base.state_value(b)? + self.correction.state_value(c)?)
     }
 }
 
@@ -299,7 +512,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let data = synth(500, &mut rng);
         let mut m = LinearValueModel::new(2);
-        let report = m.fit(&data, &SgdConfig::default(), &mut rng);
+        let report = m.fit(data, &SgdConfig::default(), &mut rng);
         assert!(report.steps > 0);
         assert!(report.mse < 0.05, "mse {}", report.mse);
         let pred = m.predict(&[1.0, 1.0]);
@@ -312,7 +525,7 @@ mod tests {
         let fit = |seed| {
             let mut m = LinearValueModel::new(2);
             m.fit(
-                &data,
+                data.clone(),
                 &SgdConfig::default(),
                 &mut SmallRng::seed_from_u64(seed),
             );
@@ -340,7 +553,7 @@ mod tests {
             data.censored.push(false);
         }
         let mut m = LinearValueModel::new(2);
-        m.fit(&data, &SgdConfig::default(), &mut rng);
+        m.fit(data, &SgdConfig::default(), &mut rng);
         let at_bound = m.predict(&[1.0, 1.0]);
         assert!(at_bound > 4.0, "censored floor ignored: {at_bound}");
         let at_high = m.predict(&[3.0, 1.0]);
@@ -355,7 +568,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let a_data = synth(300, &mut rng);
         let mut a = LinearValueModel::new(2);
-        a.fit(&a_data, &SgdConfig::default(), &mut rng);
+        a.fit(a_data.clone(), &SgdConfig::default(), &mut rng);
         // Merging with an unfitted correction changes nothing.
         let same = a.merged_with(&LinearValueModel::new(2));
         for x in [[0.5, 1.5], [3.0, 0.0], [2.2, 2.2]] {
@@ -363,7 +576,7 @@ mod tests {
         }
         // Merging two fitted models sums their predictions.
         let mut b = LinearValueModel::new(2);
-        b.fit(&a_data, &SgdConfig::default(), &mut rng);
+        b.fit(a_data, &SgdConfig::default(), &mut rng);
         let m = a.merged_with(&b);
         for x in [[0.5, 1.5], [3.0, 0.0]] {
             assert!((m.predict(&x) - (a.predict(&x) + b.predict(&x))).abs() < 1e-9);
@@ -374,7 +587,7 @@ mod tests {
     fn empty_fit_is_a_noop() {
         let mut m = LinearValueModel::new(3);
         let r = m.fit(
-            &TrainSet::default(),
+            TrainSet::default(),
             &SgdConfig::default(),
             &mut SmallRng::seed_from_u64(0),
         );

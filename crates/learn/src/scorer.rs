@@ -7,12 +7,29 @@
 //! score of a subtree is the model's predicted latency in seconds
 //! (`exp` of its log-space prediction), so forest scores add like
 //! latencies and are comparable across trees.
+//!
+//! Scoring is **incremental**: every [`balsa_cost::ScoredTree`] this
+//! scorer returns carries an opaque per-subtree state in its `ext` child
+//! hook, and `score_join` composes the joined state from the children's
+//! states instead of re-walking the subtree —
+//!
+//! * flat encoding (linear models): the feature channels compose through
+//!   [`Featurizer::flat_join_state`] (O(tables + edges) per candidate,
+//!   bit-identical to a from-scratch featurization);
+//! * tree encoding (tree convolution): the model's own
+//!   [`ValueModel::join_state`] carries per-layer root activations and
+//!   pooled maxima, so a candidate join costs one convolution window.
+//!
+//! A missing child state (e.g. a model without incremental support)
+//! falls back to a from-scratch encode, so correctness never depends on
+//! the hooks.
 
-use crate::featurize::Featurizer;
-use crate::model::ValueModel;
+use crate::featurize::{Featurizer, FlatState};
+use crate::model::{FeatureEncoding, ValueModel};
 use balsa_card::{CardEstimator, MemoEstimator};
 use balsa_cost::{PlanScorer, QueryScorer, ScoredTree, SubtreeCost};
 use balsa_query::{Plan, Query};
+use std::sync::Arc;
 
 /// Cap on predicted log-latency so `exp` stays finite even for a model
 /// mid-training.
@@ -64,10 +81,10 @@ struct LearnedQueryScorer<'q> {
 }
 
 impl LearnedQueryScorer<'_> {
-    fn score(&self, plan: &Plan) -> ScoredTree {
-        let x = self.featurizer.featurize(self.query, plan, &self.memo);
-        let pred = self.model.predict(&x).min(MAX_LOG_PRED);
-        let secs = pred.exp();
+    /// Wraps a log-space prediction and its incremental state into the
+    /// beam's scored-tree currency.
+    fn scored(&self, plan: &Plan, pred: f64, ext: Option<balsa_cost::SubtreeExt>) -> ScoredTree {
+        let secs = pred.min(MAX_LOG_PRED).exp();
         ScoredTree {
             score: secs,
             sc: SubtreeCost {
@@ -75,19 +92,90 @@ impl LearnedQueryScorer<'_> {
                 out_rows: self.memo.cardinality(self.query, plan.mask()).max(0.0),
                 sorted_on: Vec::new(),
             },
+            ext,
+        }
+    }
+
+    /// From-scratch scoring (leaves, and the fallback when a child state
+    /// is missing).
+    fn score_full(&self, plan: &Plan) -> ScoredTree {
+        match self.model.encoding() {
+            FeatureEncoding::Flat => {
+                let st = self.featurizer.flat_state(self.query, plan, &self.memo);
+                let pred = self.model.predict(&st.x);
+                self.scored(plan, pred, Some(Arc::new(st)))
+            }
+            FeatureEncoding::Tree => {
+                let x = self.featurizer.featurize_tree(self.query, plan, &self.memo);
+                let pred = self.model.predict(&x);
+                self.scored(plan, pred, None)
+            }
         }
     }
 }
 
 impl QueryScorer for LearnedQueryScorer<'_> {
     fn score_scan(&self, scan: &Plan) -> ScoredTree {
-        self.score(scan)
+        match self.model.encoding() {
+            FeatureEncoding::Flat => {
+                let st = self
+                    .featurizer
+                    .flat_scan_state(self.query, scan, &self.memo);
+                let pred = self.model.predict(&st.x);
+                self.scored(scan, pred, Some(Arc::new(st)))
+            }
+            FeatureEncoding::Tree => {
+                let nx = self.featurizer.node_features(self.query, scan, &self.memo);
+                match self.model.leaf_state(&nx) {
+                    Some(state) => {
+                        let pred = self
+                            .model
+                            .state_value(&state)
+                            .expect("leaf_state implies state_value");
+                        self.scored(scan, pred, Some(state))
+                    }
+                    None => self.score_full(scan),
+                }
+            }
+        }
     }
 
-    fn score_join(&self, join: &Plan, _lc: &ScoredTree, _rc: &ScoredTree) -> ScoredTree {
-        // The value model scores the joined state directly; child scores
-        // are not composed (the features already encode the subtree).
-        self.score(join)
+    fn score_join(&self, join: &Plan, lc: &ScoredTree, rc: &ScoredTree) -> ScoredTree {
+        match self.model.encoding() {
+            FeatureEncoding::Flat => {
+                let (Some(l), Some(r)) = (
+                    lc.ext
+                        .as_deref()
+                        .and_then(|e| e.downcast_ref::<FlatState>()),
+                    rc.ext
+                        .as_deref()
+                        .and_then(|e| e.downcast_ref::<FlatState>()),
+                ) else {
+                    return self.score_full(join);
+                };
+                let st = self
+                    .featurizer
+                    .flat_join_state(self.query, join, l, r, &self.memo);
+                let pred = self.model.predict(&st.x);
+                self.scored(join, pred, Some(Arc::new(st)))
+            }
+            FeatureEncoding::Tree => {
+                let (Some(l), Some(r)) = (lc.ext.as_ref(), rc.ext.as_ref()) else {
+                    return self.score_full(join);
+                };
+                let nx = self.featurizer.node_features(self.query, join, &self.memo);
+                match self.model.join_state(&nx, l, r) {
+                    Some(state) => {
+                        let pred = self
+                            .model
+                            .state_value(&state)
+                            .expect("join_state implies state_value");
+                        self.scored(join, pred, Some(state))
+                    }
+                    None => self.score_full(join),
+                }
+            }
+        }
     }
 }
 
@@ -95,6 +183,7 @@ impl QueryScorer for LearnedQueryScorer<'_> {
 mod tests {
     use super::*;
     use crate::model::LinearValueModel;
+    use crate::treeconv::{TreeConvConfig, TreeConvValueModel};
     use balsa_card::HistogramEstimator;
     use balsa_cost::OpWeights;
     use balsa_query::workloads::job_workload;
@@ -102,13 +191,18 @@ mod tests {
     use balsa_storage::{mini_imdb, DataGenConfig};
     use std::sync::Arc;
 
-    #[test]
-    fn untrained_model_still_yields_valid_complete_plans() {
+    fn fixture() -> (Arc<balsa_storage::Database>, balsa_query::Workload) {
         let db = Arc::new(mini_imdb(DataGenConfig {
             scale: 0.02,
             ..Default::default()
         }));
         let w = job_workload(db.catalog(), 7);
+        (db, w)
+    }
+
+    #[test]
+    fn untrained_model_still_yields_valid_complete_plans() {
+        let (db, w) = fixture();
         let est = HistogramEstimator::new(&db);
         let featurizer = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
         let model = LinearValueModel::new(featurizer.dim());
@@ -119,6 +213,58 @@ mod tests {
             let out = planner.plan(q);
             assert_eq!(out.plan.mask(), q.all_mask(), "{}", q.name);
             assert!(out.cost.is_finite() && out.cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn tree_conv_beam_plans_are_valid_and_match_full_predictions() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let featurizer = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+        let mut model = TreeConvValueModel::new(featurizer.node_dim(), TreeConvConfig::default());
+        // Randomize the weights via a one-sample fit so activations are
+        // non-trivial.
+        {
+            use crate::model::{SgdConfig, TrainSet, ValueModel as _};
+            use rand::rngs::SmallRng;
+            use rand::SeedableRng;
+            let q = &w.queries[0];
+            let plan = balsa_query::Plan::scan(0, balsa_query::ScanOp::Seq);
+            let x = featurizer.featurize_tree(q, &plan, &est);
+            let data = TrainSet {
+                xs: vec![x],
+                ys: vec![1.0],
+                censored: vec![false],
+            };
+            model.fit(
+                data,
+                &SgdConfig {
+                    epochs: 1,
+                    ..SgdConfig::default()
+                },
+                &mut SmallRng::seed_from_u64(5),
+            );
+        }
+        let scorer = LearnedScorer::new(&featurizer, &model, &est);
+        let planner = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5);
+        assert!(planner.name().contains("learned-tree_conv"));
+        for q in w.queries.iter().take(4) {
+            let out = planner.plan(q);
+            assert_eq!(out.plan.mask(), q.all_mask(), "{}", q.name);
+            // The incremental beam score equals a from-scratch encode +
+            // predict of the final plan.
+            let full = crate::model::ValueModel::predict(
+                &model,
+                &featurizer.featurize_tree(q, &out.plan, &est),
+            );
+            let expect = full.min(MAX_LOG_PRED).exp();
+            assert!(
+                (out.cost - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+                "{}: incremental {} vs full {}",
+                q.name,
+                out.cost,
+                expect
+            );
         }
     }
 }

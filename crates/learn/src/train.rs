@@ -23,8 +23,11 @@
 
 use crate::buffer::{Experience, ExperienceBuffer, LabelSource};
 use crate::featurize::Featurizer;
-use crate::model::{LinearValueModel, SgdConfig, ValueModel};
+use crate::model::{
+    FeatureEncoding, LinearValueModel, ModelKind, ResidualValueModel, SgdConfig, ValueModel,
+};
 use crate::scorer::LearnedScorer;
+use crate::treeconv::{TreeConvConfig, TreeConvValueModel};
 use balsa_card::{CardEstimator, HistogramEstimator, MemoEstimator};
 use balsa_cost::{CostModel, CoutModel, ExpertCostModel};
 use balsa_engine::{query_key, ExecutionEnv, SimClock};
@@ -40,6 +43,9 @@ use std::sync::Arc;
 /// Hyperparameters of [`train_loop`].
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
+    /// Which value-model family to train (§6's tree convolution or the
+    /// linear baseline).
+    pub model: ModelKind,
     /// Plan-shape space (match the engine's hint space).
     pub mode: SearchMode,
     /// Beam width for both training and evaluation inference.
@@ -67,6 +73,7 @@ pub struct TrainConfig {
 impl Default for TrainConfig {
     fn default() -> Self {
         Self {
+            model: ModelKind::Linear,
             mode: SearchMode::Bushy,
             beam_width: 20,
             sim_random_plans: 20,
@@ -119,7 +126,7 @@ pub struct TrainOutcome {
     /// best validation (training-workload) geometric-mean latency, as
     /// the paper retains the best agent by validation rather than the
     /// last one.
-    pub model: LinearValueModel,
+    pub model: Box<dyn ValueModel>,
     /// Per-iteration learning trajectory (first entry is iteration 0,
     /// right after pretraining).
     pub trajectory: Vec<IterationStats>,
@@ -127,10 +134,26 @@ pub struct TrainOutcome {
     pub buffer: ExperienceBuffer,
 }
 
-/// Records `C_out` pseudo-latency labels for every subplan of `plan`.
+/// Instantiates an untrained model of `kind` sized for `featurizer`.
+pub fn make_model(kind: ModelKind, featurizer: &Featurizer) -> Box<dyn ValueModel> {
+    match kind {
+        ModelKind::Linear => Box::new(LinearValueModel::new(featurizer.dim())),
+        ModelKind::TreeConv => Box::new(TreeConvValueModel::new(
+            featurizer.node_dim(),
+            TreeConvConfig::default(),
+        )),
+    }
+}
+
+/// Records `C_out` pseudo-latency labels for every subplan of `plan`,
+/// encoded for the model family being trained.
+// Like `evaluate_learned`, the argument list is the full labeling
+// context; a struct would be rebuilt per call site.
+#[allow(clippy::too_many_arguments)]
 fn record_sim_labels(
     buffer: &mut ExperienceBuffer,
     featurizer: &Featurizer,
+    enc: FeatureEncoding,
     query: &Query,
     plan: &Arc<Plan>,
     est: &dyn CardEstimator,
@@ -144,7 +167,7 @@ fn record_sim_labels(
         buffer.record(Experience {
             query_key: qk,
             fingerprint: sub.fingerprint(),
-            features: featurizer.featurize(query, &sub, est),
+            features: featurizer.featurize_enc(enc, query, &sub, est),
             label_secs: label,
             censored: false,
             source: LabelSource::Simulated,
@@ -246,7 +269,8 @@ pub fn train_loop(
     let est = HistogramEstimator::new(db);
     let featurizer = Featurizer::new(db.clone(), profile.weights, profile.bushy_hints);
     let mut buffer = ExperienceBuffer::new();
-    let mut model = LinearValueModel::new(featurizer.dim());
+    let mut model = make_model(cfg.model, &featurizer);
+    let enc = model.encoding();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     // Evaluation runs on a twin environment: latencies are deterministic
     // per (query, plan), so results match the training engine without
@@ -268,6 +292,7 @@ pub fn train_loop(
             record_sim_labels(
                 &mut buffer,
                 &featurizer,
+                enc,
                 q,
                 plan,
                 &memo,
@@ -277,14 +302,14 @@ pub fn train_loop(
         }
     }
     let report = model.fit(
-        &buffer.train_set(LabelSource::Simulated),
+        buffer.train_set(LabelSource::Simulated),
         &cfg.pretrain_sgd,
         &mut rng,
     );
     env.charge_update(report.steps);
 
     let mut trajectory = Vec::new();
-    let eval_point = |model: &LinearValueModel| {
+    let eval_point = |model: &dyn ValueModel| {
         let test = evaluate_learned(
             db,
             &eval_env,
@@ -309,8 +334,8 @@ pub fn train_loop(
         );
         (median(&test), median(&val), geo_mean(&val))
     };
-    let (test_median, val_median, val_geo) = eval_point(&model);
-    let mut best_model = model.clone();
+    let (test_median, val_median, val_geo) = eval_point(&*model);
+    let mut best_model = model.clone_box();
     let mut best_val = val_geo;
     trajectory.push(IterationStats {
         iteration: 0,
@@ -327,14 +352,17 @@ pub fn train_loop(
 
     // ---- Phase 2: real-execution fine-tuning (§4.2–§4.3) ----
     //
-    // Residual scheme: the pretrained model is frozen as the base; a
-    // correction model is trained on real-execution residual labels
-    // (`ln latency − base prediction`), and the deployed model is their
-    // merge. Iteration 1 therefore starts exactly at the pretrained
-    // policy, and fine-tuning moves it only where real evidence pulls —
-    // the stable counterpart of the paper's sim-to-real transfer.
-    let base = model.clone();
-    let mut correction = LinearValueModel::new(featurizer.dim());
+    // Residual scheme ([`ResidualValueModel`]): the pretrained model is
+    // frozen as the base; a correction model of the same family is
+    // trained on real-execution residual labels (`ln latency − base
+    // prediction`), and the deployed model is their sum. Iteration 1
+    // therefore starts exactly at the pretrained policy, and fine-tuning
+    // moves it only where real evidence pulls — the stable counterpart
+    // of the paper's sim-to-real transfer.
+    let mut model: Box<dyn ValueModel> = Box::new(ResidualValueModel::new(
+        model,
+        make_model(cfg.model, &featurizer),
+    ));
     let mut best_lat: HashMap<usize, f64> = HashMap::new();
     for iter in 1..=cfg.iterations {
         // Linear epsilon decay: full exploration early, pure greed last.
@@ -347,7 +375,7 @@ pub fn train_loop(
         let mut timeouts = 0usize;
         for &qi in &split.train {
             let q = &workload.queries[qi];
-            let scorer = LearnedScorer::new(&featurizer, &model, &est);
+            let scorer = LearnedScorer::new(&featurizer, &*model, &est);
             let planner = BeamPlanner::new(db, &scorer, cfg.mode, cfg.beam_width)
                 .with_exploration(epsilon, cfg.seed ^ ((iter as u64) << 44));
             let out = planner.plan(q);
@@ -369,25 +397,26 @@ pub fn train_loop(
                 buffer.record(Experience {
                     query_key: qk,
                     fingerprint: l.plan.fingerprint(),
-                    features: featurizer.featurize(q, &l.plan, &memo),
+                    features: featurizer.featurize_enc(enc, q, &l.plan, &memo),
                     label_secs: l.latency_secs,
                     censored: l.censored,
                     source: LabelSource::Real,
                 });
             }
         }
-        let mut data = buffer.train_set(LabelSource::Real);
-        for (x, y) in data.xs.iter().zip(data.ys.iter_mut()) {
-            *y -= base.predict(x);
-        }
-        let report = correction.fit(&data, &cfg.finetune_sgd, &mut rng);
+        // The residual wrapper subtracts the frozen base's predictions
+        // and fits only the correction.
+        let report = model.fit(
+            buffer.train_set(LabelSource::Real),
+            &cfg.finetune_sgd,
+            &mut rng,
+        );
         env.charge_update(report.steps);
-        model = base.merged_with(&correction);
 
-        let (test_median, val_median, val_geo) = eval_point(&model);
+        let (test_median, val_median, val_geo) = eval_point(&*model);
         if val_geo < best_val || best_val.is_nan() {
             best_val = val_geo;
-            best_model = model.clone();
+            best_model = model.clone_box();
         }
         trajectory.push(IterationStats {
             iteration: iter,

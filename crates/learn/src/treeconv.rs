@@ -1,0 +1,941 @@
+//! The tree-convolution value network (§6).
+//!
+//! [`TreeConvValueModel`] is the paper's stronger function class over the
+//! per-node plan encoding: the plan is reshaped into the binary-tree
+//! tensor layout ([`balsa_query::Plan::tree_tensor`]), 2–3 tree
+//! convolution layers slide **triple filters** over every
+//! `(node, left child, right child)` window, a **dynamic pooling** step
+//! takes the channel-wise max over all nodes (so plans of any size map
+//! to a fixed-length vector), and a small MLP head reads the pooled
+//! vector out to a scalar log-latency.
+//!
+//! Everything is pure Rust on the vendored shims: forward, manual
+//! backprop (through the MLP, the max-pool routing, and the shared
+//! convolution filters), and the same censored-hinge minibatch SGD the
+//! linear model trains with. Weights flatten to a single parameter
+//! vector ([`TreeConvValueModel::set_params`] /
+//! [`crate::model::ValueModel::params`]), so checkpoints are
+//! serialization-ready and exactly comparable.
+//!
+//! Because a convolution layer only looks *downward* (a node and its
+//! children), a node's activations never change when a parent is added
+//! above it. Inference inside the beam exploits this: the incremental
+//! [`crate::model::ValueModel::join_state`] hook carries each subtree's
+//! root activations per layer plus the pooled channel maxima, so scoring
+//! a candidate join costs one window of convolutions — O(1) in the
+//! subtree size — instead of a full re-encode.
+
+use crate::model::{
+    FeatureEncoding, FitReport, ModelState, SgdConfig, TrainSet, ValueModel, LRELU_SLOPE,
+};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SliceRandomExt};
+use std::sync::Arc;
+
+/// Architecture of the tree-convolution network.
+#[derive(Debug, Clone)]
+pub struct TreeConvConfig {
+    /// Output channels of each tree-convolution layer, applied in order
+    /// over the node encoding.
+    pub conv_channels: Vec<usize>,
+    /// Hidden width of the MLP head over the pooled vector.
+    pub mlp_hidden: usize,
+}
+
+impl Default for TreeConvConfig {
+    fn default() -> Self {
+        Self {
+            conv_channels: vec![24, 16],
+            mlp_hidden: 16,
+        }
+    }
+}
+
+/// Serializes per-node feature rows plus the child table into the flat
+/// self-describing tree encoding consumed by [`TreeConvValueModel`]:
+/// `[n, d, (left+1, right+1, d features) * n]`, nodes in post-order with
+/// `0` marking a missing child. This is the contract between the
+/// featurizer's tree encoding and the model.
+pub fn encode_tree(feats: &[Vec<f64>], children: &[Option<(usize, usize)>]) -> Vec<f64> {
+    assert_eq!(feats.len(), children.len(), "ragged tree encoding");
+    assert!(!feats.is_empty(), "empty tree");
+    let d = feats[0].len();
+    let mut x = Vec::with_capacity(2 + feats.len() * (2 + d));
+    x.push(feats.len() as f64);
+    x.push(d as f64);
+    for (f, kids) in feats.iter().zip(children) {
+        assert_eq!(f.len(), d, "ragged node features");
+        match kids {
+            None => {
+                x.push(0.0);
+                x.push(0.0);
+            }
+            Some((l, r)) => {
+                x.push((l + 1) as f64);
+                x.push((r + 1) as f64);
+            }
+        }
+        x.extend_from_slice(f);
+    }
+    x
+}
+
+/// A decoded tree: per-node feature rows (post-order) and child slots.
+struct DecodedTree {
+    feats: Vec<Vec<f64>>,
+    children: Vec<Option<(usize, usize)>>,
+}
+
+/// Parses the flat encoding produced by [`encode_tree`].
+fn decode_tree(x: &[f64]) -> DecodedTree {
+    assert!(x.len() >= 2, "tree encoding too short");
+    let n = x[0] as usize;
+    let d = x[1] as usize;
+    assert_eq!(x.len(), 2 + n * (2 + d), "corrupt tree encoding");
+    let mut feats = Vec::with_capacity(n);
+    let mut children = Vec::with_capacity(n);
+    for i in 0..n {
+        let base = 2 + i * (2 + d);
+        let (l, r) = (x[base] as usize, x[base + 1] as usize);
+        children.push(if l == 0 {
+            None
+        } else {
+            debug_assert!(r > 0 && l <= i && r <= i, "child slots must precede");
+            Some((l - 1, r - 1))
+        });
+        feats.push(x[base + 2..base + 2 + d].to_vec());
+    }
+    DecodedTree { feats, children }
+}
+
+#[inline]
+fn lrelu(z: f64) -> f64 {
+    if z >= 0.0 {
+        z
+    } else {
+        LRELU_SLOPE * z
+    }
+}
+
+#[inline]
+fn lrelu_grad(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0
+    } else {
+        LRELU_SLOPE
+    }
+}
+
+/// `out += W·x` for row-major `W` of shape `out.len() × x.len()`.
+#[inline]
+fn matvec_acc(w: &[f64], x: &[f64], out: &mut [f64]) {
+    for (o, row) in out.iter_mut().zip(w.chunks_exact(x.len())) {
+        *o += row.iter().zip(x).map(|(w, x)| w * x).sum::<f64>();
+    }
+}
+
+/// `dx += Wᵀ·dy` for the same `W` layout.
+#[inline]
+fn matvec_t_acc(w: &[f64], dy: &[f64], dx: &mut [f64]) {
+    for (dyi, row) in dy.iter().zip(w.chunks_exact(dx.len())) {
+        for (dx, w) in dx.iter_mut().zip(row) {
+            *dx += w * dyi;
+        }
+    }
+}
+
+/// `gw += dy ⊗ x` (outer product) for the same `W` layout.
+#[inline]
+fn outer_acc(gw: &mut [f64], dy: &[f64], x: &[f64]) {
+    for (dyi, row) in dy.iter().zip(gw.chunks_exact_mut(x.len())) {
+        for (g, xi) in row.iter_mut().zip(x) {
+            *g += dyi * xi;
+        }
+    }
+}
+
+/// One tree-convolution layer: a triple filter `(node, left, right)`
+/// with shared weights across every window of the tree.
+#[derive(Debug, Clone)]
+struct ConvLayer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Node filter, row-major `out_dim × in_dim`.
+    wn: Vec<f64>,
+    /// Left-child filter.
+    wl: Vec<f64>,
+    /// Right-child filter.
+    wr: Vec<f64>,
+    /// Bias.
+    b: Vec<f64>,
+}
+
+impl ConvLayer {
+    fn new(in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            in_dim,
+            out_dim,
+            wn: vec![0.0; in_dim * out_dim],
+            wl: vec![0.0; in_dim * out_dim],
+            wr: vec![0.0; in_dim * out_dim],
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Pre-activation of one window; `xl`/`xr` are `None` for leaves.
+    fn pre(&self, x: &[f64], xl: Option<&[f64]>, xr: Option<&[f64]>) -> Vec<f64> {
+        let mut z = self.b.clone();
+        matvec_acc(&self.wn, x, &mut z);
+        if let Some(xl) = xl {
+            matvec_acc(&self.wl, xl, &mut z);
+        }
+        if let Some(xr) = xr {
+            matvec_acc(&self.wr, xr, &mut z);
+        }
+        z
+    }
+}
+
+/// A dense layer, row-major `out_dim × in_dim`.
+#[derive(Debug, Clone)]
+struct Dense {
+    in_dim: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            in_dim,
+            w: vec![0.0; in_dim * out_dim],
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    fn pre(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = self.b.clone();
+        matvec_acc(&self.w, x, &mut z);
+        z
+    }
+}
+
+/// Forward caches for one tree, kept for backprop.
+struct Forward {
+    /// `acts[l][i]`: node `i`'s activation entering conv layer `l`
+    /// (`acts[0]` is the node encoding); `acts[L]` feeds the pool.
+    acts: Vec<Vec<Vec<f64>>>,
+    /// Pre-activations of conv layer `l` at node `i`.
+    pre: Vec<Vec<Vec<f64>>>,
+    /// Channel-wise max over `acts[L]`.
+    pooled: Vec<f64>,
+    /// Which node each pooled channel came from (gradient routing).
+    argmax: Vec<usize>,
+    /// MLP hidden pre-activation and activation.
+    h_pre: Vec<f64>,
+    h_act: Vec<f64>,
+    /// Scalar output (predicted log latency).
+    out: f64,
+}
+
+/// Incremental per-subtree inference state (the [`ModelState`] payload):
+/// the subtree root's activation at every level plus the pooled
+/// channel-maxima over the whole subtree.
+struct TcState {
+    /// `acts[l]`: the root node's activation entering conv layer `l`;
+    /// the last entry is its final-layer activation.
+    acts: Vec<Vec<f64>>,
+    /// Channel-wise max of final-layer activations over the subtree.
+    pooled: Vec<f64>,
+}
+
+/// Tree-convolution value model over the flat tree encoding.
+#[derive(Debug, Clone)]
+pub struct TreeConvValueModel {
+    node_dim: usize,
+    conv: Vec<ConvLayer>,
+    head1: Dense,
+    head2: Dense,
+    fitted: bool,
+}
+
+impl TreeConvValueModel {
+    /// Creates an untrained network for `node_dim`-dimensional node
+    /// encodings (predicts 0 until fit).
+    pub fn new(node_dim: usize, cfg: TreeConvConfig) -> Self {
+        assert!(node_dim > 0, "node encoding must be non-empty");
+        assert!(
+            !cfg.conv_channels.is_empty(),
+            "need at least one conv layer"
+        );
+        let mut conv = Vec::new();
+        let mut in_dim = node_dim;
+        for &out_dim in &cfg.conv_channels {
+            conv.push(ConvLayer::new(in_dim, out_dim));
+            in_dim = out_dim;
+        }
+        Self {
+            node_dim,
+            conv,
+            head1: Dense::new(in_dim, cfg.mlp_hidden),
+            head2: Dense::new(cfg.mlp_hidden, 1),
+            fitted: false,
+        }
+    }
+
+    /// The node-encoding dimension this network convolves over.
+    pub fn node_dim(&self) -> usize {
+        self.node_dim
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.conv
+            .iter()
+            .map(|c| 3 * c.wn.len() + c.b.len())
+            .sum::<usize>()
+            + self.head1.w.len()
+            + self.head1.b.len()
+            + self.head2.w.len()
+            + self.head2.b.len()
+    }
+
+    /// Overwrites all parameters from a flat vector in the layout of
+    /// [`ValueModel::params`] (conv layers in order — `wn`, `wl`, `wr`,
+    /// `b` — then the two head layers). The serialization counterpart of
+    /// `params`, also used by the finite-difference gradient tests.
+    pub fn set_params(&mut self, v: &[f64]) {
+        assert_eq!(v.len(), self.num_params(), "parameter length mismatch");
+        let mut it = v.iter().copied();
+        let mut take = |dst: &mut [f64]| {
+            for d in dst {
+                *d = it.next().expect("length checked");
+            }
+        };
+        for c in &mut self.conv {
+            take(&mut c.wn);
+            take(&mut c.wl);
+            take(&mut c.wr);
+            take(&mut c.b);
+        }
+        take(&mut self.head1.w);
+        take(&mut self.head1.b);
+        take(&mut self.head2.w);
+        take(&mut self.head2.b);
+        self.fitted = true;
+    }
+
+    fn init_weights(&mut self, label_mean: f64, rng: &mut SmallRng) {
+        for c in &mut self.conv {
+            let std = (1.0 / (3 * c.in_dim) as f64).sqrt();
+            for w in c.wn.iter_mut().chain(&mut c.wl).chain(&mut c.wr) {
+                *w = rng.random_normal(0.0, std);
+            }
+        }
+        for d in [&mut self.head1, &mut self.head2] {
+            let std = (1.0 / d.in_dim as f64).sqrt();
+            for w in &mut d.w {
+                *w = rng.random_normal(0.0, std);
+            }
+        }
+        // Bias the output at the label mean so first predictions land in
+        // range, mirroring the linear model's init.
+        self.head2.b[0] = label_mean;
+        self.fitted = true;
+    }
+
+    /// Full forward pass over a decoded tree, caching everything
+    /// backprop needs.
+    fn forward(&self, t: &DecodedTree) -> Forward {
+        let n = t.feats.len();
+        assert!(
+            t.feats.iter().all(|f| f.len() == self.node_dim),
+            "node encoding dimension mismatch"
+        );
+        let levels = self.conv.len();
+        let mut acts: Vec<Vec<Vec<f64>>> = Vec::with_capacity(levels + 1);
+        let mut pre: Vec<Vec<Vec<f64>>> = Vec::with_capacity(levels);
+        acts.push(t.feats.clone());
+        for (l, layer) in self.conv.iter().enumerate() {
+            let mut zs = Vec::with_capacity(n);
+            let mut hs = Vec::with_capacity(n);
+            for i in 0..n {
+                let (xl, xr) = match t.children[i] {
+                    None => (None, None),
+                    Some((a, b)) => (Some(&acts[l][a][..]), Some(&acts[l][b][..])),
+                };
+                let z = layer.pre(&acts[l][i], xl, xr);
+                hs.push(z.iter().map(|&z| lrelu(z)).collect::<Vec<f64>>());
+                zs.push(z);
+            }
+            pre.push(zs);
+            acts.push(hs);
+        }
+        // Dynamic pooling: channel-wise max over all nodes.
+        let c = self.conv.last().expect("at least one layer").out_dim;
+        let mut pooled = vec![f64::NEG_INFINITY; c];
+        let mut argmax = vec![0usize; c];
+        for (i, h) in acts[levels].iter().enumerate() {
+            for (ch, &v) in h.iter().enumerate() {
+                if v > pooled[ch] {
+                    pooled[ch] = v;
+                    argmax[ch] = i;
+                }
+            }
+        }
+        let h_pre = self.head1.pre(&pooled);
+        let h_act: Vec<f64> = h_pre.iter().map(|&z| lrelu(z)).collect();
+        let out = self.head2.pre(&h_act)[0];
+        Forward {
+            acts,
+            pre,
+            pooled,
+            argmax,
+            h_pre,
+            h_act,
+            out,
+        }
+    }
+
+    /// Accumulates `d_out * ∂out/∂θ` into the flat gradient `grad`
+    /// (layout of [`ValueModel::params`]) by backprop through the head,
+    /// the pool routing, and the convolution stack.
+    fn backward(&self, t: &DecodedTree, f: &Forward, d_out: f64, grad: &mut [f64]) {
+        let n = t.feats.len();
+        let levels = self.conv.len();
+        // Split the flat gradient into per-layer views.
+        let mut parts: Vec<&mut [f64]> = Vec::new();
+        let mut rest = grad;
+        for c in &self.conv {
+            for len in [c.wn.len(), c.wl.len(), c.wr.len(), c.b.len()] {
+                let (head, tail) = rest.split_at_mut(len);
+                parts.push(head);
+                rest = tail;
+            }
+        }
+        for len in [
+            self.head1.w.len(),
+            self.head1.b.len(),
+            self.head2.w.len(),
+            self.head2.b.len(),
+        ] {
+            let (head, tail) = rest.split_at_mut(len);
+            parts.push(head);
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+        let (conv_parts, head_parts) = parts.split_at_mut(4 * levels);
+
+        // Head: out = w2 · lrelu(w1 · pooled + b1) + b2.
+        let d_h_act: Vec<f64> = self.head2.w.iter().map(|w| w * d_out).collect();
+        outer_acc(head_parts[2], &[d_out], &f.h_act);
+        head_parts[3][0] += d_out;
+        let d_h_pre: Vec<f64> = d_h_act
+            .iter()
+            .zip(&f.h_pre)
+            .map(|(&d, &z)| d * lrelu_grad(z))
+            .collect();
+        outer_acc(head_parts[0], &d_h_pre, &f.pooled);
+        for (g, d) in head_parts[1].iter_mut().zip(&d_h_pre) {
+            *g += d;
+        }
+        let mut d_pooled = vec![0.0; f.pooled.len()];
+        matvec_t_acc(&self.head1.w, &d_h_pre, &mut d_pooled);
+
+        // Pool routing: each channel's gradient flows to its argmax node.
+        let mut d_act: Vec<Vec<f64>> = vec![vec![0.0; f.pooled.len()]; n];
+        for (ch, &d) in d_pooled.iter().enumerate() {
+            d_act[f.argmax[ch]][ch] += d;
+        }
+
+        // Conv stack, top layer down. All of layer l+1's gradients are
+        // in `d_act` before layer l runs, because convolutions only read
+        // activations of the same level.
+        for l in (0..levels).rev() {
+            let layer = &self.conv[l];
+            let mut d_below: Vec<Vec<f64>> = vec![vec![0.0; layer.in_dim]; n];
+            for i in 0..n {
+                let d_z: Vec<f64> = d_act[i]
+                    .iter()
+                    .zip(&f.pre[l][i])
+                    .map(|(&d, &z)| d * lrelu_grad(z))
+                    .collect();
+                let x = &f.acts[l][i];
+                outer_acc(conv_parts[4 * l], &d_z, x);
+                matvec_t_acc(&layer.wn, &d_z, &mut d_below[i]);
+                if let Some((a, b)) = t.children[i] {
+                    outer_acc(conv_parts[4 * l + 1], &d_z, &f.acts[l][a]);
+                    outer_acc(conv_parts[4 * l + 2], &d_z, &f.acts[l][b]);
+                    matvec_t_acc(&layer.wl, &d_z, &mut d_below[a]);
+                    matvec_t_acc(&layer.wr, &d_z, &mut d_below[b]);
+                }
+                for (g, d) in conv_parts[4 * l + 3].iter_mut().zip(&d_z) {
+                    *g += d;
+                }
+            }
+            d_act = d_below;
+        }
+    }
+
+    /// Mean censored-hinge loss `½·r²` over `data` (censored samples
+    /// contribute only while the prediction is below the bound).
+    pub fn loss(&self, data: &TrainSet) -> f64 {
+        assert!(!data.is_empty(), "loss of an empty set");
+        let mut total = 0.0;
+        for ((x, &y), &c) in data.xs.iter().zip(&data.ys).zip(&data.censored) {
+            let r = self.forward(&decode_tree(x)).out - y;
+            if !(c && r >= 0.0) {
+                total += 0.5 * r * r;
+            }
+        }
+        total / data.len() as f64
+    }
+
+    /// Analytic gradient of [`TreeConvValueModel::loss`] with respect to
+    /// the flat parameter vector — the reference the finite-difference
+    /// tests check against (no L2 term).
+    pub fn loss_grad(&self, data: &TrainSet) -> Vec<f64> {
+        let mut grad = vec![0.0; self.num_params()];
+        let inv = 1.0 / data.len() as f64;
+        for ((x, &y), &c) in data.xs.iter().zip(&data.ys).zip(&data.censored) {
+            let t = decode_tree(x);
+            let f = self.forward(&t);
+            let r = f.out - y;
+            if !(c && r >= 0.0) {
+                self.backward(&t, &f, r * inv, &mut grad);
+            }
+        }
+        grad
+    }
+
+    /// The weight-decay mask: 1 for weights, 0 for biases, in the flat
+    /// parameter layout (L2 never penalizes biases, as in the linear
+    /// model).
+    fn l2_mask(&self) -> Vec<f64> {
+        let mut mask = Vec::with_capacity(self.num_params());
+        for c in &self.conv {
+            mask.extend(vec![1.0; 3 * c.wn.len()]);
+            mask.extend(vec![0.0; c.b.len()]);
+        }
+        mask.extend(vec![1.0; self.head1.w.len()]);
+        mask.extend(vec![0.0; self.head1.b.len()]);
+        mask.extend(vec![1.0; self.head2.w.len()]);
+        mask.extend(vec![0.0; self.head2.b.len()]);
+        mask
+    }
+}
+
+impl ValueModel for TreeConvValueModel {
+    fn name(&self) -> String {
+        "tree_conv".into()
+    }
+
+    fn encoding(&self) -> FeatureEncoding {
+        FeatureEncoding::Tree
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.forward(&decode_tree(x)).out
+    }
+
+    fn fit(&mut self, data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
+        assert_eq!(data.xs.len(), data.ys.len());
+        assert_eq!(data.censored.len(), data.ys.len());
+        if data.is_empty() {
+            return FitReport { steps: 0, mse: 0.0 };
+        }
+        let n = data.len();
+        if !self.fitted {
+            let mean = data.ys.iter().sum::<f64>() / n as f64;
+            self.init_weights(mean, rng);
+        }
+        // Decode every tree once; epochs reuse the decoded forms.
+        let trees: Vec<DecodedTree> = data
+            .xs
+            .iter()
+            .map(|x| {
+                let t = decode_tree(x);
+                assert_eq!(
+                    t.feats.first().map_or(0, |f| f.len()),
+                    self.node_dim,
+                    "node encoding dimension mismatch"
+                );
+                t
+            })
+            .collect();
+
+        let mask = self.l2_mask();
+        let mut params = self.params();
+        let mut grad = vec![0.0; params.len()];
+        let mut vel = vec![0.0; params.len()];
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut steps = 0u64;
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(cfg.batch.max(1)) {
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                let mut active = 0usize;
+                for &i in chunk {
+                    let f = self.forward(&trees[i]);
+                    let r = f.out - data.ys[i];
+                    if data.censored[i] && r >= 0.0 {
+                        continue;
+                    }
+                    active += 1;
+                    self.backward(&trees[i], &f, r, &mut grad);
+                }
+                if active > 0 {
+                    let inv = 1.0 / active as f64;
+                    for (((p, g), m), v) in params.iter_mut().zip(&grad).zip(&mask).zip(&mut vel) {
+                        *v = cfg.momentum * *v + g * inv + cfg.l2 * m * *p;
+                        *p -= cfg.lr * *v;
+                    }
+                    self.set_params(&params);
+                }
+                steps += 1;
+            }
+        }
+
+        let mse = trees
+            .iter()
+            .zip(data.ys.iter().zip(&data.censored))
+            .map(|(t, (&y, &c))| {
+                let r = self.forward(t).out - y;
+                if c && r >= 0.0 {
+                    0.0
+                } else {
+                    r * r
+                }
+            })
+            .sum::<f64>()
+            / n as f64;
+        FitReport { steps, mse }
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.num_params());
+        for c in &self.conv {
+            v.extend_from_slice(&c.wn);
+            v.extend_from_slice(&c.wl);
+            v.extend_from_slice(&c.wr);
+            v.extend_from_slice(&c.b);
+        }
+        v.extend_from_slice(&self.head1.w);
+        v.extend_from_slice(&self.head1.b);
+        v.extend_from_slice(&self.head2.w);
+        v.extend_from_slice(&self.head2.b);
+        v
+    }
+
+    fn clone_box(&self) -> Box<dyn ValueModel> {
+        Box::new(self.clone())
+    }
+
+    fn leaf_state(&self, node_x: &[f64]) -> Option<ModelState> {
+        assert_eq!(node_x.len(), self.node_dim, "node encoding mismatch");
+        let mut acts = Vec::with_capacity(self.conv.len() + 1);
+        acts.push(node_x.to_vec());
+        for layer in &self.conv {
+            let z = layer.pre(acts.last().expect("non-empty"), None, None);
+            acts.push(z.into_iter().map(lrelu).collect());
+        }
+        let pooled = acts.last().expect("non-empty").clone();
+        Some(Arc::new(TcState { acts, pooled }))
+    }
+
+    fn join_state(
+        &self,
+        node_x: &[f64],
+        left: &ModelState,
+        right: &ModelState,
+    ) -> Option<ModelState> {
+        let l = left.downcast_ref::<TcState>()?;
+        let r = right.downcast_ref::<TcState>()?;
+        let mut acts = Vec::with_capacity(self.conv.len() + 1);
+        acts.push(node_x.to_vec());
+        for (i, layer) in self.conv.iter().enumerate() {
+            let z = layer.pre(&acts[i], Some(&l.acts[i]), Some(&r.acts[i]));
+            acts.push(z.into_iter().map(lrelu).collect());
+        }
+        let top = acts.last().expect("non-empty");
+        let pooled: Vec<f64> = top
+            .iter()
+            .zip(l.pooled.iter().zip(&r.pooled))
+            .map(|(&h, (&a, &b))| h.max(a.max(b)))
+            .collect();
+        Some(Arc::new(TcState { acts, pooled }))
+    }
+
+    fn state_value(&self, state: &ModelState) -> Option<f64> {
+        let s = state.downcast_ref::<TcState>()?;
+        let h: Vec<f64> = self.head1.pre(&s.pooled).into_iter().map(lrelu).collect();
+        Some(self.head2.pre(&h)[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Random per-node features plus a random valid topology (post-order
+    /// with children preceding parents), encoded in the flat layout.
+    fn random_tree(n_leaves: usize, dim: usize, rng: &mut SmallRng) -> Vec<f64> {
+        assert!(n_leaves >= 1);
+        let mut feats: Vec<Vec<f64>> = Vec::new();
+        let mut children: Vec<Option<(usize, usize)>> = Vec::new();
+        let mut roots: Vec<usize> = Vec::new();
+        let push = |feats: &mut Vec<Vec<f64>>,
+                    children: &mut Vec<Option<(usize, usize)>>,
+                    kids,
+                    rng: &mut SmallRng| {
+            feats.push((0..dim).map(|_| rng.random_normal(0.0, 1.0)).collect());
+            children.push(kids);
+            feats.len() - 1
+        };
+        for _ in 0..n_leaves {
+            let i = push(&mut feats, &mut children, None, rng);
+            roots.push(i);
+        }
+        while roots.len() > 1 {
+            let a = rng.random_range(0..roots.len());
+            let l = roots.swap_remove(a);
+            let b = rng.random_range(0..roots.len());
+            let r = roots.swap_remove(b);
+            let i = push(&mut feats, &mut children, Some((l, r)), rng);
+            roots.push(i);
+        }
+        encode_tree(&feats, &children)
+    }
+
+    fn small_model(rng: &mut SmallRng) -> TreeConvValueModel {
+        let mut m = TreeConvValueModel::new(
+            5,
+            TreeConvConfig {
+                conv_channels: vec![4, 3],
+                mlp_hidden: 3,
+            },
+        );
+        m.init_weights(0.5, rng);
+        m
+    }
+
+    fn fd_set(rng: &mut SmallRng) -> TrainSet {
+        let mut data = TrainSet::default();
+        for (leaves, y, censored) in [
+            (1, 2.0, false),
+            (3, -1.0, false),
+            (5, 4.0, true),  // far above init predictions: hinge active
+            (2, -9.0, true), // far below: hinge inactive, zero gradient
+            (4, 0.5, false),
+        ] {
+            data.xs.push(random_tree(leaves, 5, rng));
+            data.ys.push(y);
+            data.censored.push(censored);
+        }
+        data
+    }
+
+    /// The satellite acceptance test: analytic gradients of the full
+    /// network (conv layers, pooling routing, MLP head, censored hinge)
+    /// match central finite differences on random small plans.
+    #[test]
+    fn finite_difference_gradients_match() {
+        let mut rng = SmallRng::seed_from_u64(0xF00D);
+        let model = small_model(&mut rng);
+        let data = fd_set(&mut rng);
+        let analytic = model.loss_grad(&data);
+        let p0 = model.params();
+        assert_eq!(analytic.len(), p0.len());
+        let h = 1e-5;
+        let mut worst = 0.0f64;
+        for j in 0..p0.len() {
+            let mut m = model.clone();
+            let mut p = p0.clone();
+            p[j] += h;
+            m.set_params(&p);
+            let up = m.loss(&data);
+            p[j] = p0[j] - h;
+            m.set_params(&p);
+            let down = m.loss(&data);
+            let numeric = (up - down) / (2.0 * h);
+            let err = (numeric - analytic[j]).abs();
+            let tol = 1e-6 + 1e-4 * numeric.abs().max(analytic[j].abs());
+            assert!(
+                err <= tol,
+                "param {j}: numeric {numeric} vs analytic {} (err {err})",
+                analytic[j]
+            );
+            worst = worst.max(err);
+        }
+        assert!(worst.is_finite());
+    }
+
+    /// A censored sample whose prediction already exceeds the bound
+    /// contributes no gradient; one below the bound does.
+    #[test]
+    fn censored_hinge_gates_gradients() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let model = small_model(&mut rng);
+        let x = random_tree(3, 5, &mut rng);
+        let pred = model.predict(&x);
+        let inactive = TrainSet {
+            xs: vec![x.clone()],
+            ys: vec![pred - 5.0],
+            censored: vec![true],
+        };
+        assert!(model.loss_grad(&inactive).iter().all(|&g| g == 0.0));
+        assert_eq!(model.loss(&inactive), 0.0);
+        let active = TrainSet {
+            xs: vec![x],
+            ys: vec![pred + 5.0],
+            censored: vec![true],
+        };
+        assert!(model.loss_grad(&active).iter().any(|&g| g != 0.0));
+        assert!(model.loss(&active) > 0.0);
+    }
+
+    /// Dynamic pooling is the channel-wise max over all nodes, and the
+    /// incremental join state reproduces the full forward exactly.
+    #[test]
+    fn incremental_states_match_full_forward() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let model = small_model(&mut rng);
+        for leaves in [1usize, 2, 4, 7] {
+            let x = random_tree(leaves, 5, &mut rng);
+            let t = decode_tree(&x);
+            // Recompute incrementally, bottom-up over the same topology.
+            let mut states: Vec<Option<ModelState>> = vec![None; t.feats.len()];
+            for i in 0..t.feats.len() {
+                states[i] = Some(match t.children[i] {
+                    None => model.leaf_state(&t.feats[i]).expect("leaf state"),
+                    Some((a, b)) => model
+                        .join_state(
+                            &t.feats[i],
+                            states[a].as_ref().expect("child before parent"),
+                            states[b].as_ref().expect("child before parent"),
+                        )
+                        .expect("join state"),
+                });
+            }
+            let root = states.last().unwrap().as_ref().unwrap();
+            let incremental = model.state_value(root).expect("state value");
+            let full = model.predict(&x);
+            assert!(
+                (incremental - full).abs() <= 1e-12 * full.abs().max(1.0),
+                "leaves {leaves}: incremental {incremental} vs full {full}"
+            );
+            // The root state's pooled vector is the channel-wise max of
+            // the full forward's final-layer activations.
+            let f = model.forward(&t);
+            let s = root.downcast_ref::<TcState>().unwrap();
+            for (c, (&a, &b)) in s.pooled.iter().zip(&f.pooled).enumerate() {
+                assert!((a - b).abs() < 1e-15, "channel {c}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// SGD on the censored-hinge loss reduces training error on a
+    /// synthetic tree-structured signal, deterministically per seed.
+    #[test]
+    fn fit_learns_and_is_deterministic() {
+        let gen = |rng: &mut SmallRng| {
+            let mut data = TrainSet::default();
+            for _ in 0..80 {
+                let leaves = rng.random_range(1..5usize);
+                let x = random_tree(leaves, 5, rng);
+                // Signal: node count plus the first feature of the root.
+                let t = decode_tree(&x);
+                let y = 0.3 * t.feats.len() as f64 + 0.5 * t.feats.last().unwrap()[0];
+                data.xs.push(x);
+                data.ys.push(y);
+                data.censored.push(false);
+            }
+            data
+        };
+        let data = gen(&mut SmallRng::seed_from_u64(3));
+        let run = |seed: u64| {
+            let mut m = TreeConvValueModel::new(
+                5,
+                TreeConvConfig {
+                    conv_channels: vec![8, 8],
+                    mlp_hidden: 8,
+                },
+            );
+            let report = m.fit(
+                data.clone(),
+                &SgdConfig {
+                    epochs: 120,
+                    lr: 0.03,
+                    batch: 16,
+                    ..SgdConfig::default()
+                },
+                &mut SmallRng::seed_from_u64(seed),
+            );
+            (m, report)
+        };
+        let (m, report) = run(11);
+        assert!(report.steps > 0);
+        let var = {
+            let mean = data.ys.iter().sum::<f64>() / data.len() as f64;
+            data.ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / data.len() as f64
+        };
+        assert!(
+            report.mse < var * 0.5,
+            "mse {} should beat half the label variance {var}",
+            report.mse
+        );
+        // Same seed, same data: bit-identical parameters.
+        let (m2, _) = run(11);
+        assert_eq!(m.params(), m2.params());
+        // Different seed: different init, different weights.
+        let (m3, _) = run(12);
+        assert_ne!(m.params(), m3.params());
+    }
+
+    #[test]
+    fn params_set_params_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = small_model(&mut rng);
+        let p = m.params();
+        assert_eq!(p.len(), m.num_params());
+        let mut fresh = TreeConvValueModel::new(
+            5,
+            TreeConvConfig {
+                conv_channels: vec![4, 3],
+                mlp_hidden: 3,
+            },
+        );
+        assert!(!fresh.is_fitted());
+        fresh.set_params(&p);
+        assert!(fresh.is_fitted());
+        assert_eq!(fresh.params(), p);
+        let x = random_tree(3, 5, &mut rng);
+        assert_eq!(m.predict(&x), fresh.predict(&x));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let x = random_tree(4, 3, &mut rng);
+        let t = decode_tree(&x);
+        assert_eq!(encode_tree(&t.feats, &t.children), x);
+        // Leaves have no children; the root is the last slot.
+        assert_eq!(t.feats.len(), 7);
+        assert!(t.children.last().unwrap().is_some());
+    }
+
+    /// An untrained network predicts 0 and never poisons the beam.
+    #[test]
+    fn unfitted_predicts_zero() {
+        let m = TreeConvValueModel::new(5, TreeConvConfig::default());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let x = random_tree(3, 5, &mut rng);
+        assert_eq!(m.predict(&x), 0.0);
+        assert!(!m.is_fitted());
+    }
+}

@@ -14,7 +14,7 @@ use balsa_cost::OpWeights;
 use balsa_engine::{query_key, ExecutionEnv};
 use balsa_learn::{
     evaluate_expert_baseline, evaluate_learned, median, train_loop, Experience, ExperienceBuffer,
-    Featurizer, LabelSource, SgdConfig, TrainConfig,
+    Featurizer, LabelSource, ModelKind, SgdConfig, TrainConfig,
 };
 use balsa_query::workloads::job_workload;
 use balsa_query::Split;
@@ -187,7 +187,7 @@ fn train_loop_smoke_end_to_end() {
         &db,
         &eval_env,
         &featurizer,
-        &outcome.model,
+        &*outcome.model,
         &est,
         &w,
         &split.test,
@@ -202,37 +202,194 @@ fn train_loop_smoke_end_to_end() {
     );
 }
 
-/// Training is deterministic given the seed: same config, same database,
-/// same trajectory.
+/// Censored labels distinguish the root from interior subtrees: with a
+/// budget between an interior subtree's latency and the root's, the
+/// root label is a censored lower bound at the budget while completed
+/// interior subtrees keep exact uncensored labels — and the buffer
+/// merges both correctly when a later unbudgeted run completes.
 #[test]
-fn train_loop_is_deterministic() {
+fn censoring_at_root_vs_interior_subtree() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    let q = w.queries.iter().find(|q| q.num_tables() >= 5).unwrap();
+    let f = Featurizer::new(db.clone(), OpWeights::postgres_like(), true);
+    let est = HistogramEstimator::new(&db);
+    let mut rng = SmallRng::seed_from_u64(17);
+    let plan = random_plan(&db, q, SearchMode::Bushy, &mut rng);
+
+    // Uncensored reference labels for every subtree.
+    let (full, reference) = ExecutionEnv::postgres_sim(db.clone())
+        .execute_labeled(q, &plan, None)
+        .unwrap();
+    assert!(!full.timed_out);
+    // Pick a budget above the cheapest interior subtree but below the
+    // root, so the cut lands strictly inside the tree.
+    let cheapest_join = reference
+        .iter()
+        .filter(|l| !l.plan.is_scan() && l.latency_secs < full.latency_secs)
+        .map(|l| l.latency_secs)
+        .fold(f64::MAX, f64::min);
+    let budget = (cheapest_join + full.latency_secs) / 2.0;
+    assert!(budget < full.latency_secs);
+
+    let env = ExecutionEnv::postgres_sim(db.clone());
+    let (out, labels) = env.execute_labeled(q, &plan, Some(budget)).unwrap();
+    assert!(out.timed_out);
+
+    let mut buffer = ExperienceBuffer::new();
+    let record = |buffer: &mut ExperienceBuffer, labels: &[balsa_engine::SubtreeObs]| {
+        for l in labels {
+            buffer.record(Experience {
+                query_key: query_key(q),
+                fingerprint: l.plan.fingerprint(),
+                features: f.featurize(q, &l.plan, &est),
+                label_secs: l.latency_secs,
+                censored: l.censored,
+                source: LabelSource::Real,
+            });
+        }
+    };
+    record(&mut buffer, &labels);
+
+    // Root: censored at the budget.
+    let root = buffer
+        .get(query_key(q), plan.fingerprint(), LabelSource::Real)
+        .unwrap();
+    assert!(root.censored, "root must be censored");
+    assert_eq!(root.label_secs, budget);
+    // Interior: subtrees cheaper than the budget completed with their
+    // exact reference labels; ones above it are censored bounds.
+    let mut saw_uncensored_interior = false;
+    for r in &reference {
+        let stored = buffer
+            .get(query_key(q), r.plan.fingerprint(), LabelSource::Real)
+            .expect("every subtree labeled");
+        if r.latency_secs <= budget {
+            assert!(!stored.censored, "completed subtree censored: {}", r.plan);
+            assert_eq!(stored.label_secs, r.latency_secs);
+            saw_uncensored_interior |= !r.plan.is_scan();
+        } else {
+            assert!(stored.censored);
+            assert_eq!(stored.label_secs, budget);
+        }
+    }
+    assert!(
+        saw_uncensored_interior,
+        "budget must land inside the tree (some join completed)"
+    );
+
+    // A later unbudgeted run supersedes every censored bound with the
+    // exact label and leaves completed ones at their best values.
+    let (_, labels2) = env.execute_labeled(q, &plan, None).unwrap();
+    record(&mut buffer, &labels2);
+    for r in &reference {
+        let stored = buffer
+            .get(query_key(q), r.plan.fingerprint(), LabelSource::Real)
+            .unwrap();
+        assert!(!stored.censored, "bound not superseded: {}", r.plan);
+        assert_eq!(stored.label_secs, r.latency_secs);
+    }
+}
+
+/// Training is deterministic given the seed — for both model families:
+/// same config, same database, identical validation curves AND
+/// bit-identical checkpoint weights. Guards the vendored rand shim, the
+/// buffer's sorted extraction, and SGD ordering.
+#[test]
+fn train_loop_is_deterministic_with_identical_checkpoints() {
     let db = small_db();
     let w = job_workload(db.catalog(), 7);
     let split = Split {
-        train: (0..10).collect(),
-        test: (10..14).collect(),
+        train: (0..8).collect(),
+        test: (8..11).collect(),
+    };
+    for kind in [ModelKind::Linear, ModelKind::TreeConv] {
+        let cfg = TrainConfig {
+            model: kind,
+            beam_width: 3,
+            sim_random_plans: 2,
+            iterations: 1,
+            pretrain_sgd: SgdConfig {
+                epochs: 4,
+                ..SgdConfig::default()
+            },
+            finetune_sgd: SgdConfig {
+                epochs: 2,
+                ..SgdConfig::default()
+            },
+            ..TrainConfig::default()
+        };
+        let run = || {
+            let env = ExecutionEnv::postgres_sim(db.clone());
+            let o = train_loop(&db, &env, &w, &split, &cfg);
+            let curve: Vec<(f64, f64, f64)> = o
+                .trajectory
+                .iter()
+                .map(|it| (it.test_median_secs, it.val_median_secs, it.fit_mse))
+                .collect();
+            (curve, o.model.params())
+        };
+        let (curve_a, params_a) = run();
+        let (curve_b, params_b) = run();
+        assert_eq!(curve_a, curve_b, "{kind:?}: validation curves diverge");
+        assert_eq!(params_a, params_b, "{kind:?}: checkpoint weights diverge");
+        assert!(!params_a.is_empty());
+    }
+}
+
+/// The tree-convolution model trains end-to-end through the same
+/// two-phase loop: trajectory shape holds and the selected checkpoint's
+/// held-out inference stays within a sane factor of the expert.
+#[test]
+fn tree_conv_train_loop_end_to_end() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    let full = Split::random(w.queries.len(), 19, 42);
+    let split = Split {
+        train: full.train.into_iter().take(12).collect(),
+        test: full.test.into_iter().take(4).collect(),
     };
     let cfg = TrainConfig {
-        beam_width: 3,
-        sim_random_plans: 2,
-        iterations: 1,
+        model: ModelKind::TreeConv,
+        beam_width: 4,
+        sim_random_plans: 3,
+        iterations: 2,
         pretrain_sgd: SgdConfig {
-            epochs: 5,
+            epochs: 10,
             ..SgdConfig::default()
         },
         finetune_sgd: SgdConfig {
-            epochs: 3,
+            epochs: 5,
             ..SgdConfig::default()
         },
         ..TrainConfig::default()
     };
-    let run = || {
-        let env = ExecutionEnv::postgres_sim(db.clone());
-        let o = train_loop(&db, &env, &w, &split, &cfg);
-        o.trajectory
-            .iter()
-            .map(|it| (it.test_median_secs, it.val_median_secs))
-            .collect::<Vec<_>>()
-    };
-    assert_eq!(run(), run());
+    let env = ExecutionEnv::postgres_sim(db.clone());
+    let outcome = train_loop(&db, &env, &w, &split, &cfg);
+    assert_eq!(outcome.trajectory.len(), cfg.iterations + 1);
+    assert!(outcome.model.is_fitted());
+    assert_eq!(outcome.model.encoding(), balsa_learn::FeatureEncoding::Tree);
+    for it in &outcome.trajectory {
+        assert!(it.test_median_secs.is_finite() && it.test_median_secs > 0.0);
+    }
+    let eval_env = ExecutionEnv::postgres_sim(db.clone());
+    let est = HistogramEstimator::new(&db);
+    let featurizer = Featurizer::new(db.clone(), env.profile().weights, env.profile().bushy_hints);
+    let learned = evaluate_learned(
+        &db,
+        &eval_env,
+        &featurizer,
+        &*outcome.model,
+        &est,
+        &w,
+        &split.test,
+        cfg.mode,
+        cfg.beam_width,
+    );
+    let expert = evaluate_expert_baseline(&db, &eval_env, &w, &split.test, cfg.mode);
+    let (ml, me) = (median(&learned), median(&expert));
+    assert!(
+        ml <= me * 10.0,
+        "tree-conv median {ml} catastrophically above expert {me}"
+    );
 }

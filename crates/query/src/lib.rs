@@ -24,5 +24,5 @@ pub mod sql;
 pub mod workloads;
 
 pub use ir::{CmpOp, Filter, JoinEdge, Predicate, Query, QueryId, QueryTable, TableMask};
-pub use plan::{JoinOp, Plan, PlanShape, ScanOp};
+pub use plan::{JoinOp, Plan, PlanShape, ScanOp, TreeTensor};
 pub use workloads::{Split, Workload, WorkloadKind};

@@ -52,6 +52,30 @@ pub enum PlanShape {
     Bushy,
 }
 
+/// The binary-tree tensor layout of a plan ([`Plan::tree_tensor`]):
+/// `nodes[i]` is the subtree rooted at slot `i` (post-order, root last)
+/// and `children[i]` its `(left, right)` slot indices (`None` for scan
+/// leaves). Both child indices always precede `i`.
+#[derive(Debug, Clone)]
+pub struct TreeTensor {
+    /// Subtrees in post-order; the last entry is the whole plan.
+    pub nodes: Vec<Arc<Plan>>,
+    /// Child slots per node, parallel to `nodes`.
+    pub children: Vec<Option<(usize, usize)>>,
+}
+
+impl TreeTensor {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A tensor is never empty, but clippy likes the pair.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
 /// A physical plan node (scan leaf or binary join).
 #[derive(Debug, PartialEq, Eq, Hash)]
 pub enum Plan {
@@ -169,6 +193,49 @@ impl Plan {
         }
         rec(self, &mut out);
         out
+    }
+
+    /// Walks the plan in the binary-tree tensor order of §6 — post-order,
+    /// children before parents, root last — handing each node to `f`
+    /// together with its children's slot indices (`None` for leaves). A
+    /// node's slot is its visit position; both child slots always precede
+    /// the parent's. This is the traversal primitive behind
+    /// [`Plan::tree_tensor`] and per-node featurization.
+    pub fn visit_tensor(&self, f: &mut impl FnMut(&Plan, Option<(usize, usize)>)) {
+        fn rec<F: FnMut(&Plan, Option<(usize, usize)>)>(
+            p: &Plan,
+            next: &mut usize,
+            f: &mut F,
+        ) -> usize {
+            let kids = match p {
+                Plan::Scan { .. } => None,
+                Plan::Join { left, right, .. } => {
+                    let l = rec(left, next, f);
+                    let r = rec(right, next, f);
+                    Some((l, r))
+                }
+            };
+            f(p, kids);
+            let slot = *next;
+            *next += 1;
+            slot
+        }
+        rec(self, &mut 0, f);
+    }
+
+    /// Flattens the plan into the binary-tree tensor layout of §6: all
+    /// nodes in post-order (children before parents, root last) plus a
+    /// parallel child-index table. This is the structural half of the
+    /// tree-convolution input — a consumer attaches per-node feature rows
+    /// in the same order and convolves triple filters over
+    /// `(node, left, right)` by indexing `children`.
+    pub fn tree_tensor(self: &Arc<Plan>) -> TreeTensor {
+        let mut children = Vec::new();
+        self.visit_tensor(&mut |_, kids| children.push(kids));
+        TreeTensor {
+            nodes: self.subtrees_post_order(),
+            children,
+        }
     }
 
     /// Counts scan operators by kind: `(seq, index)`. Used as a
@@ -386,6 +453,28 @@ mod tests {
                         .expect("child present")
                 };
                 assert!(pos(left) < i && pos(right) < i);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_tensor_matches_post_order() {
+        for p in [left_deep_3(), bushy_4(), Plan::scan(0, ScanOp::Seq)] {
+            let t = p.tree_tensor();
+            let post = p.subtrees_post_order();
+            assert_eq!(t.len(), post.len());
+            assert!(!t.is_empty());
+            for (i, (node, sub)) in t.nodes.iter().zip(&post).enumerate() {
+                assert!(Arc::ptr_eq(node, sub), "slot {i} diverges from post-order");
+                match (&**node, t.children[i]) {
+                    (Plan::Scan { .. }, kids) => assert!(kids.is_none()),
+                    (Plan::Join { left, right, .. }, Some((l, r))) => {
+                        assert!(l < i && r < i, "children precede parents");
+                        assert!(Arc::ptr_eq(&t.nodes[l], left));
+                        assert!(Arc::ptr_eq(&t.nodes[r], right));
+                    }
+                    (Plan::Join { .. }, None) => panic!("join without child slots"),
+                }
             }
         }
     }
