@@ -53,6 +53,18 @@ impl CmmModel {
             }
         }
     }
+
+    /// The `C_mm` work of one join given its output cardinality and the
+    /// children's summaries — shared by both summary entry points.
+    fn join_work(op: JoinOp, out: f64, lc: &SubtreeCost, rc: &SubtreeCost) -> f64 {
+        match op {
+            JoinOp::Hash => out + lc.work + rc.work + rc.out_rows,
+            JoinOp::NestLoop => {
+                out + lc.work + TAU * lc.out_rows * (rc.out_rows.max(2.0)).log2().max(1.0)
+            }
+            JoinOp::Merge => out + lc.work + rc.work + lc.out_rows + rc.out_rows,
+        }
+    }
 }
 
 impl CostModel for CmmModel {
@@ -83,13 +95,7 @@ impl CostModel for CmmModel {
     ) -> SubtreeCost {
         let out = est.cardinality(query, join.mask()).max(0.0);
         let work = match join {
-            Plan::Join { op, .. } => match op {
-                JoinOp::Hash => out + lc.work + rc.work + rc.out_rows,
-                JoinOp::NestLoop => {
-                    out + lc.work + TAU * lc.out_rows * (rc.out_rows.max(2.0)).log2().max(1.0)
-                }
-                JoinOp::Merge => out + lc.work + rc.work + lc.out_rows + rc.out_rows,
-            },
+            Plan::Join { op, .. } => Self::join_work(*op, out, lc, rc),
             Plan::Scan { .. } => TAU * out,
         };
         SubtreeCost {
@@ -97,6 +103,70 @@ impl CostModel for CmmModel {
             out_rows: out,
             sorted_on: Vec::new(),
         }
+    }
+
+    fn join_summary_parts(
+        &self,
+        query: &Query,
+        op: JoinOp,
+        left: &std::sync::Arc<Plan>,
+        lc: &SubtreeCost,
+        right: &std::sync::Arc<Plan>,
+        rc: &SubtreeCost,
+        est: &dyn CardEstimator,
+    ) -> SubtreeCost {
+        let out = est
+            .cardinality(query, left.mask().union(right.mask()))
+            .max(0.0);
+        SubtreeCost {
+            work: Self::join_work(op, out, lc, rc),
+            out_rows: out,
+            sorted_on: Vec::new(),
+        }
+    }
+
+    fn pair_coster<'c>(
+        &'c self,
+        query: &Query,
+        lmask: TableMask,
+        rmask: TableMask,
+        est: &dyn CardEstimator,
+    ) -> Option<Box<dyn crate::PairCoster + 'c>> {
+        Some(Box::new(CmmPairCoster {
+            out: est.cardinality(query, lmask.union(rmask)).max(0.0),
+        }))
+    }
+}
+
+/// Pair session for `C_mm`: per-operator formulas over one cardinality.
+struct CmmPairCoster {
+    out: f64,
+}
+
+impl crate::PairCoster for CmmPairCoster {
+    fn work_out(
+        &self,
+        op: JoinOp,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        _right_index_scan: bool,
+    ) -> (f64, f64) {
+        (CmmModel::join_work(op, self.out, lc, rc), self.out)
+    }
+
+    fn order_source(&self, _op: JoinOp) -> crate::OrderSource {
+        crate::OrderSource::Empty
+    }
+
+    fn pair_sorted_on(&self) -> &[(usize, usize)] {
+        &[]
+    }
+
+    /// `C_mm`'s nested loop charges the inner side as index lookups —
+    /// `rc.work` is absent from the formula — so candidates may cost
+    /// *less* than their children's summed work.
+    fn child_monotone(&self) -> bool {
+        false
     }
 }
 

@@ -57,6 +57,63 @@ impl CostModel for CoutModel {
             sorted_on: Vec::new(),
         }
     }
+
+    fn join_summary_parts(
+        &self,
+        query: &Query,
+        _op: balsa_query::JoinOp,
+        left: &std::sync::Arc<Plan>,
+        lc: &SubtreeCost,
+        right: &std::sync::Arc<Plan>,
+        rc: &SubtreeCost,
+        est: &dyn CardEstimator,
+    ) -> SubtreeCost {
+        let out = est
+            .cardinality(query, left.mask().union(right.mask()))
+            .max(0.0);
+        SubtreeCost {
+            work: out + lc.work + rc.work,
+            out_rows: out,
+            sorted_on: Vec::new(),
+        }
+    }
+
+    fn pair_coster<'c>(
+        &'c self,
+        query: &Query,
+        lmask: balsa_query::TableMask,
+        rmask: balsa_query::TableMask,
+        est: &dyn CardEstimator,
+    ) -> Option<Box<dyn crate::PairCoster + 'c>> {
+        Some(Box::new(CoutPairCoster {
+            out: est.cardinality(query, lmask.union(rmask)).max(0.0),
+        }))
+    }
+}
+
+/// Pair session for `C_out`: the output cardinality is the whole story.
+struct CoutPairCoster {
+    out: f64,
+}
+
+impl crate::PairCoster for CoutPairCoster {
+    fn work_out(
+        &self,
+        _op: balsa_query::JoinOp,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        _right_index_scan: bool,
+    ) -> (f64, f64) {
+        (self.out + lc.work + rc.work, self.out)
+    }
+
+    fn order_source(&self, _op: balsa_query::JoinOp) -> crate::OrderSource {
+        crate::OrderSource::Empty
+    }
+
+    fn pair_sorted_on(&self) -> &[(usize, usize)] {
+        &[]
+    }
 }
 
 #[cfg(test)]

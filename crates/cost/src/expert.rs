@@ -14,7 +14,7 @@
 use crate::physical::{join_cost, physical_cost, scan_cost, OpWeights, SubtreeCost};
 use crate::CostModel;
 use balsa_card::CardEstimator;
-use balsa_query::{Plan, Query};
+use balsa_query::{JoinOp, Plan, Query};
 use balsa_storage::Database;
 use std::sync::Arc;
 
@@ -83,6 +83,36 @@ impl CostModel for ExpertCostModel {
             ),
             Plan::Scan { .. } => self.scan_summary(query, join, est),
         }
+    }
+
+    fn join_summary_parts(
+        &self,
+        query: &Query,
+        op: JoinOp,
+        left: &Arc<Plan>,
+        lc: &SubtreeCost,
+        right: &Arc<Plan>,
+        rc: &SubtreeCost,
+        est: &dyn CardEstimator,
+    ) -> SubtreeCost {
+        join_cost(&self.db, query, op, left, lc, right, rc, est, &self.weights)
+    }
+
+    fn pair_coster<'c>(
+        &'c self,
+        query: &Query,
+        lmask: balsa_query::TableMask,
+        rmask: balsa_query::TableMask,
+        est: &dyn CardEstimator,
+    ) -> Option<Box<dyn crate::PairCoster + 'c>> {
+        Some(Box::new(crate::physical::JoinPairCost::new(
+            &self.db,
+            query,
+            lmask,
+            rmask,
+            est,
+            self.weights,
+        )))
     }
 }
 

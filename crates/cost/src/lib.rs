@@ -29,17 +29,79 @@
 pub mod cmm;
 pub mod cout;
 pub mod expert;
+pub mod orders;
 pub mod physical;
 pub mod scorer;
 
 pub use cmm::CmmModel;
 pub use cout::CoutModel;
 pub use expert::ExpertCostModel;
-pub use physical::{join_cost, physical_cost, scan_cost, NodeCost, OpWeights, SubtreeCost};
+pub use orders::{OrderInterner, OrderMask};
+pub use physical::{
+    join_cost, physical_cost, scan_cost, JoinPairCost, NodeCost, OpWeights, SubtreeCost,
+};
 pub use scorer::{CostScorer, PlanScorer, QueryScorer, ScoredTree, SubtreeExt};
 
 use balsa_card::CardEstimator;
-use balsa_query::{Plan, Query};
+use balsa_query::{JoinOp, Plan, Query, TableMask};
+use std::sync::Arc;
+
+/// How a join operator's output-order set derives from its inputs —
+/// declared once per `(session, operator)` so enumerator hot loops
+/// never compute (or intern) an order list per candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderSource {
+    /// The join emits no interesting order (e.g. hash joins).
+    Empty,
+    /// The join preserves the left (outer) input's orders (e.g. nested
+    /// loops).
+    LeftInput,
+    /// The join emits the session-constant order list
+    /// ([`PairCoster::pair_sorted_on`], e.g. merge-join keys).
+    Pair,
+}
+
+/// A per-orientation join-costing session for planner hot loops.
+///
+/// A DP enumerator costs every `(left entry, right entry, operator)`
+/// candidate of one csg–cmp orientation; everything that depends only
+/// on the two masks (output cardinality, crossing-edge keys,
+/// index-NL eligibility, merge output orders) is resolved once when
+/// [`CostModel::pair_coster`] opens the session, leaving the
+/// per-candidate path allocation-free.
+pub trait PairCoster {
+    /// `(work, out_rows)` of joining children with summaries `lc`/`rc`
+    /// under `op` (`work` includes both children). `right_index_scan`:
+    /// whether the right child is literally an index-scan leaf — the
+    /// one per-candidate fact the masks cannot carry.
+    fn work_out(
+        &self,
+        op: JoinOp,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        right_index_scan: bool,
+    ) -> (f64, f64);
+
+    /// Whether every operator's `work` is **child-monotone**: at least
+    /// `lc.work + rc.work`. Only when this holds may a DP enumerator
+    /// reject candidates against `lc.work + rc.work` before costing
+    /// them. Models whose formulas drop a child's work (e.g. `C_mm`'s
+    /// nested loop, which charges the inner side as lookups rather
+    /// than a materialized subtree) must return `false`.
+    fn child_monotone(&self) -> bool {
+        true
+    }
+
+    /// The output-order semantics of `op` under this model. Together
+    /// with [`PairCoster::pair_sorted_on`] this must reproduce exactly
+    /// the `sorted_on` that [`CostModel::join_summary`] reports.
+    fn order_source(&self, op: JoinOp) -> OrderSource;
+
+    /// The session-constant order list of [`OrderSource::Pair`]
+    /// operators (for the expert model: the merge keys — left-side
+    /// keys then right-side keys, in edge order).
+    fn pair_sorted_on(&self) -> &[(usize, usize)];
+}
 
 /// A cost model scores a (query, plan) pair given a cardinality source.
 pub trait CostModel: Send + Sync {
@@ -84,5 +146,47 @@ pub trait CostModel: Send + Sync {
             out_rows: est.cardinality(query, join.mask()).max(0.0),
             sorted_on: Vec::new(),
         }
+    }
+
+    /// Costed summary of joining `left` and `right` under `op`
+    /// **without materializing the join node** — the DP enumerator's
+    /// per-candidate hot path, where the overwhelming majority of
+    /// candidates are Pareto-dominated and their plan nodes would be
+    /// allocated only to be dropped.
+    ///
+    /// Must agree bit-for-bit with [`CostModel::join_summary`] on the
+    /// built node. The default guarantees that by building the node;
+    /// the bundled models override it to cost from the children alone.
+    // The argument list is the full join-costing context; bundling it
+    // would force planner hot loops to build a struct per candidate.
+    #[allow(clippy::too_many_arguments)]
+    fn join_summary_parts(
+        &self,
+        query: &Query,
+        op: JoinOp,
+        left: &Arc<Plan>,
+        lc: &SubtreeCost,
+        right: &Arc<Plan>,
+        rc: &SubtreeCost,
+        est: &dyn CardEstimator,
+    ) -> SubtreeCost {
+        let join = Plan::join(op, left.clone(), right.clone());
+        self.join_summary(query, &join, lc, rc, est)
+    }
+
+    /// Opens a [`PairCoster`] session for candidates joining exactly
+    /// `(lmask, rmask)` in that orientation, or `None` when the model
+    /// has no session implementation (enumerators then fall back to
+    /// [`CostModel::join_summary_parts`] per candidate). A session must
+    /// agree bit-for-bit with the per-candidate entry points.
+    fn pair_coster<'c>(
+        &'c self,
+        query: &Query,
+        lmask: TableMask,
+        rmask: TableMask,
+        est: &dyn CardEstimator,
+    ) -> Option<Box<dyn PairCoster + 'c>> {
+        let _ = (query, lmask, rmask, est);
+        None
     }
 }

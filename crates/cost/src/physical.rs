@@ -12,8 +12,9 @@
 //! Work is measured in abstract tuple-operations; an engine profile
 //! converts work to seconds.
 
+use crate::PairCoster as _;
 use balsa_card::CardEstimator;
-use balsa_query::{JoinOp, Plan, Query, ScanOp, TableMask};
+use balsa_query::{JoinEdge, JoinOp, Plan, Query, ScanOp, TableMask};
 use balsa_storage::Database;
 
 /// Per-operator work weights. Two presets model the two engines of the
@@ -150,6 +151,10 @@ pub fn scan_cost(
 /// Costs a join of `left` and `right` (whose summaries are `lc`/`rc`)
 /// under operator `op`, returning the summary of the combined subtree
 /// (`work` includes both children).
+///
+/// One-shot convenience over [`JoinPairCost`], which is the same
+/// machinery opened once per `(left-mask, right-mask)` orientation for
+/// planner hot loops.
 // The argument list is the full join-costing context; bundling it into a
 // struct would force every planner hot loop to build one per candidate.
 #[allow(clippy::too_many_arguments)]
@@ -164,92 +169,202 @@ pub fn join_cost(
     est: &dyn CardEstimator,
     w: &OpWeights,
 ) -> SubtreeCost {
-    let mask = left.mask().union(right.mask());
-    let out = est.cardinality(q, mask).max(0.0);
-    let edges = q.edges_between(left.mask(), right.mask());
-    let mut sorted_on = Vec::new();
-    let work = match op {
-        JoinOp::Hash => {
-            // Build on the right, probe from the left.
-            w.hash_build * rc.out_rows + w.hash_probe * lc.out_rows + w.output_tuple * out
+    let ctx = JoinPairCost::new(db, q, left.mask(), right.mask(), est, *w);
+    let right_index_scan = matches!(
+        right,
+        Plan::Scan {
+            op: ScanOp::Index,
+            ..
         }
-        JoinOp::Merge => {
-            // Sort either input unless it already streams in the join
-            // key's order.
-            let key_of = |side_mask: TableMask| -> Vec<(usize, usize)> {
-                edges
-                    .iter()
-                    .map(|e| {
-                        if side_mask.contains(e.left_qt) {
-                            (e.left_qt, e.left_col)
-                        } else {
-                            (e.right_qt, e.right_col)
-                        }
-                    })
-                    .collect()
-            };
-            let lkeys = key_of(left.mask());
-            let rkeys = key_of(right.mask());
-            let sort_cost = |rows: f64| w.sort_tuple_log * rows * (rows + 2.0).log2();
-            let l_sorted = lkeys.iter().any(|k| lc.sorted_on.contains(k));
-            let r_sorted = rkeys.iter().any(|k| rc.sorted_on.contains(k));
-            let mut wk = w.merge_tuple * (lc.out_rows + rc.out_rows) + w.output_tuple * out;
-            if !l_sorted {
-                wk += sort_cost(lc.out_rows);
-            }
-            if !r_sorted {
-                wk += sort_cost(rc.out_rows);
-            }
-            // Output is ordered on the merge keys.
-            sorted_on.extend(lkeys);
-            sorted_on.extend(rkeys);
-            wk
-        }
-        JoinOp::NestLoop => {
-            // Index nested loop when the inner (right) side is a base
-            // *index* scan with an index on some join column. A
-            // sequential inner forces re-scanning the table per outer
-            // tuple — the quadratic case.
-            let indexed_inner = match right {
-                Plan::Scan {
-                    qt,
-                    op: ScanOp::Index,
-                } => {
-                    let qt = *qt as usize;
-                    let tid = q.tables[qt].table;
-                    edges.iter().any(|e| {
-                        let col = if e.right_qt == qt {
-                            Some(e.right_col)
-                        } else if e.left_qt == qt {
-                            Some(e.left_col)
-                        } else {
-                            None
-                        };
-                        col.is_some_and(|c| db.catalog().is_indexed(tid, c))
-                    })
-                }
-                _ => false,
-            };
-            // NL preserves the outer (left) input's order.
-            sorted_on = lc.sorted_on.clone();
-            if indexed_inner {
-                let inner_base = match right {
-                    Plan::Scan { qt, .. } => db.stats(q.tables[*qt as usize].table).num_rows as f64,
-                    _ => rc.out_rows,
-                };
-                w.nl_index_outer * lc.out_rows * (inner_base + 2.0).log2()
-                    + w.index_tuple * out
-                    + w.output_tuple * out
-            } else {
-                // The disaster case: quadratic pairing.
-                w.nl_pair * lc.out_rows * rc.out_rows + w.output_tuple * out
-            }
-        }
+    );
+    let (work, out_rows) = ctx.work_out(op, lc, rc, right_index_scan);
+    let sorted_on = match ctx.order_source(op) {
+        crate::OrderSource::Empty => Vec::new(),
+        crate::OrderSource::LeftInput => lc.sorted_on.clone(),
+        crate::OrderSource::Pair => ctx.pair_sorted_on().to_vec(),
     };
     SubtreeCost {
-        work: lc.work + rc.work + work,
-        out_rows: out,
+        work,
+        out_rows,
         sorted_on,
+    }
+}
+
+/// Everything about costing the join of one `(left-mask, right-mask)`
+/// orientation that does **not** depend on the particular child
+/// entries: the output cardinality, the crossing-edge merge keys (and
+/// the merge output-order list), and whether a single-table right side
+/// could drive an index nested loop.
+///
+/// Planner inner loops open one context per csg–cmp orientation and
+/// cost every `(left entry, right entry, operator)` candidate through
+/// it allocation-free; [`join_cost`] itself is defined on top, so the
+/// two paths cannot diverge.
+pub struct JoinPairCost {
+    out: f64,
+    /// `(left-side key, right-side key)` of each crossing edge, in edge
+    /// order.
+    keys: Vec<((usize, usize), (usize, usize))>,
+    /// Merge output orders (left keys then right keys), materialized on
+    /// first use so one-shot hash/NL costings never pay for it.
+    merge_sorted: std::cell::OnceCell<Vec<(usize, usize)>>,
+    /// Whether a right-side index scan of this orientation has an index
+    /// on a crossing join column (single-table right sides only).
+    nl_indexable: bool,
+    /// `log2(inner_base + 2)` of the single right table (unused when
+    /// the right side is not a single table).
+    nl_log_inner: f64,
+    /// Last `(rows, sort_work)` computed for the left / right merge
+    /// input — the `log2` in the sort formula is the hot loop's only
+    /// libm call, and each side's rows repeat across the opposite
+    /// side's entries and the operator loop.
+    lsort: std::cell::Cell<(f64, f64)>,
+    rsort: std::cell::Cell<(f64, f64)>,
+    w: OpWeights,
+}
+
+impl JoinPairCost {
+    /// Opens the context for joining `lmask` with `rmask` (disjoint,
+    /// connected by at least one edge).
+    pub fn new(
+        db: &Database,
+        q: &Query,
+        lmask: TableMask,
+        rmask: TableMask,
+        est: &dyn CardEstimator,
+        w: OpWeights,
+    ) -> Self {
+        let out = est.cardinality(q, lmask.union(rmask)).max(0.0);
+        let key_of = |e: &JoinEdge, side_mask: TableMask| -> (usize, usize) {
+            if side_mask.contains(e.left_qt) {
+                (e.left_qt, e.left_col)
+            } else {
+                (e.right_qt, e.right_col)
+            }
+        };
+        let mut keys = Vec::new();
+        for e in &q.joins {
+            if e.crosses(lmask, rmask) {
+                keys.push((key_of(e, lmask), key_of(e, rmask)));
+            }
+        }
+        // The right-side crossing keys are exactly the (qt, col)
+        // endpoints an index nested loop would drive through.
+        let (nl_indexable, inner_base) = match (rmask.count(), rmask.lowest()) {
+            (1, Some(qt)) => {
+                let tid = q.tables[qt].table;
+                let indexable = keys
+                    .iter()
+                    .any(|&(_, (kqt, col))| kqt == qt && db.catalog().is_indexed(tid, col));
+                (indexable, db.stats(tid).num_rows as f64)
+            }
+            _ => (false, 0.0),
+        };
+        Self {
+            out,
+            keys,
+            merge_sorted: std::cell::OnceCell::new(),
+            nl_indexable,
+            nl_log_inner: (inner_base + 2.0).log2(),
+            lsort: std::cell::Cell::new((f64::NAN, 0.0)),
+            rsort: std::cell::Cell::new((f64::NAN, 0.0)),
+            w,
+        }
+    }
+
+    /// `sort_tuple_log · rows · log2(rows + 2)`, memoized on `cell` for
+    /// repeated row counts.
+    #[inline]
+    fn sort_work(&self, cell: &std::cell::Cell<(f64, f64)>, rows: f64) -> f64 {
+        let (cached_rows, cached) = cell.get();
+        if cached_rows == rows {
+            return cached;
+        }
+        let v = self.w.sort_tuple_log * rows * (rows + 2.0).log2();
+        cell.set((rows, v));
+        v
+    }
+
+    /// `(work, out_rows)` of joining children with summaries `lc`/`rc`
+    /// under `op`; `work` includes both children. `right_index_scan`
+    /// says whether the right child is literally an index-scan leaf
+    /// (the one per-candidate fact the masks cannot carry).
+    pub fn work_out(
+        &self,
+        op: JoinOp,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        right_index_scan: bool,
+    ) -> (f64, f64) {
+        let w = &self.w;
+        let out = self.out;
+        let work = match op {
+            JoinOp::Hash => {
+                // Build on the right, probe from the left.
+                w.hash_build * rc.out_rows + w.hash_probe * lc.out_rows + w.output_tuple * out
+            }
+            JoinOp::Merge => {
+                // Sort either input unless it already streams in the
+                // join key's order.
+                let l_sorted = self.keys.iter().any(|(lk, _)| lc.sorted_on.contains(lk));
+                let r_sorted = self.keys.iter().any(|(_, rk)| rc.sorted_on.contains(rk));
+                let mut wk = w.merge_tuple * (lc.out_rows + rc.out_rows) + w.output_tuple * out;
+                if !l_sorted {
+                    wk += self.sort_work(&self.lsort, lc.out_rows);
+                }
+                if !r_sorted {
+                    wk += self.sort_work(&self.rsort, rc.out_rows);
+                }
+                wk
+            }
+            JoinOp::NestLoop => {
+                // Index nested loop when the inner (right) side is a
+                // base *index* scan with an index on some join column.
+                // A sequential inner forces re-scanning the table per
+                // outer tuple — the quadratic case.
+                if self.nl_indexable && right_index_scan {
+                    w.nl_index_outer * lc.out_rows * self.nl_log_inner
+                        + w.index_tuple * out
+                        + w.output_tuple * out
+                } else {
+                    // The disaster case: quadratic pairing.
+                    w.nl_pair * lc.out_rows * rc.out_rows + w.output_tuple * out
+                }
+            }
+        };
+        (lc.work + rc.work + work, out)
+    }
+}
+
+impl crate::PairCoster for JoinPairCost {
+    fn work_out(
+        &self,
+        op: JoinOp,
+        lc: &SubtreeCost,
+        rc: &SubtreeCost,
+        right_index_scan: bool,
+    ) -> (f64, f64) {
+        JoinPairCost::work_out(self, op, lc, rc, right_index_scan)
+    }
+
+    /// Merge joins emit the session's key list, nested loops preserve
+    /// the outer (left) input's order, hash joins none.
+    fn order_source(&self, op: JoinOp) -> crate::OrderSource {
+        match op {
+            JoinOp::Hash => crate::OrderSource::Empty,
+            JoinOp::NestLoop => crate::OrderSource::LeftInput,
+            JoinOp::Merge => crate::OrderSource::Pair,
+        }
+    }
+
+    fn pair_sorted_on(&self) -> &[(usize, usize)] {
+        self.merge_sorted.get_or_init(|| {
+            self.keys
+                .iter()
+                .map(|&(lk, _)| lk)
+                .chain(self.keys.iter().map(|&(_, rk)| rk))
+                .collect()
+        })
     }
 }
 

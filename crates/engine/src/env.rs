@@ -150,6 +150,14 @@ impl ExecutionEnv {
         self.clock.lock().charge_planning(secs);
     }
 
+    /// Charges a batch of per-query planning times run on `workers`
+    /// parallel planner threads — the wall-clock a parallel planning
+    /// phase actually occupies, not the serial sum (see
+    /// [`SimClock::charge_planning_parallel`]).
+    pub fn charge_planning_parallel(&self, secs: &[f64], workers: usize) {
+        self.clock.lock().charge_planning_parallel(secs, workers);
+    }
+
     /// Charges `steps` SGD steps of model updating to the clock.
     pub fn charge_update(&self, steps: u64) {
         self.clock.lock().charge_update(steps);

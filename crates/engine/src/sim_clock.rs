@@ -66,6 +66,21 @@ impl SimClock {
         self.seconds += secs.max(0.0);
     }
 
+    /// Charges one batch of per-query planning times executed on
+    /// `workers` parallel planner threads: with total time L and maximum
+    /// single-query time M the wall-clock charged is `max(L / w, M)` —
+    /// the same two scheduling bounds as [`SimClock::charge_executions`].
+    /// `workers = 1` charges the serial sum.
+    pub fn charge_planning_parallel(&mut self, secs: &[f64], workers: usize) {
+        if secs.is_empty() {
+            return;
+        }
+        let w = workers.max(1) as f64;
+        let total: f64 = secs.iter().map(|s| s.max(0.0)).sum();
+        let max = secs.iter().cloned().fold(0.0, f64::max);
+        self.seconds += (total / w).max(max);
+    }
+
     /// Charges `steps` SGD steps of model updating.
     pub fn charge_update(&mut self, steps: u64) {
         self.seconds += steps as f64 * self.sgd_step_secs;
@@ -98,6 +113,24 @@ mod tests {
         let mut c = SimClock::non_parallel();
         c.charge_executions(&[1.0, 2.0, 3.0]);
         assert!((c.seconds() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_planning_charges_makespan_bounds() {
+        let mut c = SimClock::new(1.0, 0.001);
+        c.charge_planning_parallel(&[1.0, 1.0, 4.0], 2);
+        // total/w = 3.0 < max 4.0 -> 4.0
+        assert!((c.seconds() - 4.0).abs() < 1e-9);
+        let mut c2 = SimClock::new(1.0, 0.001);
+        c2.charge_planning_parallel(&[1.0; 8], 4);
+        // total/w = 2.0 > max 1.0
+        assert!((c2.seconds() - 2.0).abs() < 1e-9);
+        // workers = 1 is the serial sum; empty batches charge nothing.
+        let mut c3 = SimClock::new(1.0, 0.001);
+        c3.charge_planning_parallel(&[0.5, 0.25], 1);
+        assert!((c3.seconds() - 0.75).abs() < 1e-9);
+        c3.charge_planning_parallel(&[], 8);
+        assert!((c3.seconds() - 0.75).abs() < 1e-9);
     }
 
     #[test]

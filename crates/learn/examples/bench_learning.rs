@@ -159,6 +159,10 @@ fn main() {
     }));
     let w = job_workload(db.catalog(), 7);
     let split = Split::random(w.queries.len(), 19, 42);
+    // The fine-tuning planning/featurization phase runs on the worker
+    // pool (`BALSA_PLAN_THREADS`, default = available parallelism);
+    // checkpoints are bit-identical to the serial run by construction.
+    let planning_threads = balsa_search::pool::env_threads();
     let cfg = if smoke {
         TrainConfig {
             beam_width: 5,
@@ -172,10 +176,14 @@ fn main() {
                 epochs: 10,
                 ..SgdConfig::default()
             },
+            planning_threads,
             ..TrainConfig::default()
         }
     } else {
-        TrainConfig::default()
+        TrainConfig {
+            planning_threads,
+            ..TrainConfig::default()
+        }
     };
 
     // Frozen environment for the expert baseline and all final scores

@@ -30,10 +30,10 @@ use crate::scorer::LearnedScorer;
 use crate::treeconv::{TreeConvConfig, TreeConvValueModel};
 use balsa_card::{CardEstimator, HistogramEstimator, MemoEstimator};
 use balsa_cost::{CostModel, CoutModel, ExpertCostModel};
-use balsa_engine::{query_key, ExecutionEnv, SimClock};
+use balsa_engine::{query_key, ExecutionEnv, SimClock, SubtreeObs};
 use balsa_query::workloads::Workload;
 use balsa_query::{Plan, Query, Split};
-use balsa_search::{random_plan, BeamPlanner, DpPlanner, Planner, SearchMode};
+use balsa_search::{random_plan, BeamPlanner, DpPlanner, Planner, SearchMode, WorkerPool};
 use balsa_storage::Database;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -68,6 +68,12 @@ pub struct TrainConfig {
     pub finetune_sgd: SgdConfig,
     /// Master seed for weight init, shuffling, sampling, exploration.
     pub seed: u64,
+    /// Worker threads for the fine-tuning phase's per-query planning
+    /// and featurization (1 = serial). Per-query exploration RNGs are
+    /// seeded by query id and results merge in split order, so any
+    /// thread count produces bit-identical checkpoints; planning
+    /// wall-clock is charged as the parallel makespan.
+    pub planning_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -88,6 +94,7 @@ impl Default for TrainConfig {
                 ..SgdConfig::default()
             },
             seed: 0xBA15A,
+            planning_threads: 1,
         }
     }
 }
@@ -364,6 +371,7 @@ pub fn train_loop(
         make_model(cfg.model, &featurizer),
     ));
     let mut best_lat: HashMap<usize, f64> = HashMap::new();
+    let pool = WorkerPool::new(cfg.planning_threads);
     for iter in 1..=cfg.iterations {
         // Linear epsilon decay: full exploration early, pure greed last.
         let epsilon = if cfg.iterations > 1 {
@@ -371,15 +379,31 @@ pub fn train_loop(
         } else {
             cfg.epsilon
         };
+        // (a) Plan every training query on the worker pool. Each query's
+        // exploration RNG is seeded by (seed, iteration, query id) inside
+        // the beam, and results come back in split order, so this is
+        // bit-identical to the serial loop for any thread count.
+        let model_ref: &dyn ValueModel = &*model;
+        let planned = pool.map(&split.train, |_, &qi| {
+            let q = &workload.queries[qi];
+            let scorer = LearnedScorer::new(&featurizer, model_ref, &est);
+            BeamPlanner::new(db, &scorer, cfg.mode, cfg.beam_width)
+                .with_exploration(epsilon, cfg.seed ^ ((iter as u64) << 44))
+                .plan(q)
+        });
+        // The clock advances by the phase's parallel makespan, not the
+        // serial sum — planning wall-clock is what the paper charges.
+        let plan_secs: Vec<f64> = planned.iter().map(|p| p.planning_secs).collect();
+        env.charge_planning_parallel(&plan_secs, pool.threads());
+
+        // (b) Execute serially in split order: the training clock, plan
+        // cache, and per-query timeout budgets see the exact sequence
+        // the serial loop produced.
         let mut lats = Vec::with_capacity(split.train.len());
         let mut timeouts = 0usize;
-        for &qi in &split.train {
+        let mut label_jobs: Vec<(usize, Vec<SubtreeObs>)> = Vec::with_capacity(split.train.len());
+        for (&qi, out) in split.train.iter().zip(&planned) {
             let q = &workload.queries[qi];
-            let scorer = LearnedScorer::new(&featurizer, &*model, &est);
-            let planner = BeamPlanner::new(db, &scorer, cfg.mode, cfg.beam_width)
-                .with_exploration(epsilon, cfg.seed ^ ((iter as u64) << 44));
-            let out = planner.plan(q);
-            env.charge_planning(out.planning_secs);
             let budget = best_lat.get(&qi).map(|b| b * cfg.timeout_factor);
             let (outcome, labels) = env
                 .execute_labeled(q, &out.plan, budget)
@@ -391,17 +415,32 @@ pub fn train_loop(
                 *e = e.min(outcome.latency_secs);
             }
             lats.push(outcome.latency_secs);
+            label_jobs.push((qi, labels));
+        }
+
+        // (c) Featurize all subtree labels on the pool, (d) record into
+        // the buffer serially in the same (query, subtree) order as the
+        // serial loop — the experience stream is order-sensitive
+        // (dedup/best-label retention), the featurization is pure.
+        let featurized = pool.map(&label_jobs, |_, (qi, labels)| {
+            let q = &workload.queries[*qi];
             let qk = query_key(q);
             let memo = MemoEstimator::new(&est);
-            for l in labels {
-                buffer.record(Experience {
+            labels
+                .iter()
+                .map(|l| Experience {
                     query_key: qk,
                     fingerprint: l.plan.fingerprint(),
                     features: featurizer.featurize_enc(enc, q, &l.plan, &memo),
                     label_secs: l.latency_secs,
                     censored: l.censored,
                     source: LabelSource::Real,
-                });
+                })
+                .collect::<Vec<_>>()
+        });
+        for exps in featurized {
+            for e in exps {
+                buffer.record(e);
             }
         }
         // The residual wrapper subtracts the frozen base's predictions

@@ -337,6 +337,55 @@ fn train_loop_is_deterministic_with_identical_checkpoints() {
     }
 }
 
+/// Parallel planning determinism: `train_loop` on the worker pool
+/// produces **bit-identical** checkpoint parameters to the serial run,
+/// for both model families. Per-query exploration RNGs plus the pool's
+/// deterministic merge order make thread count a pure wall-clock knob.
+#[test]
+fn parallel_train_loop_matches_serial_checkpoints_bitwise() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    let split = Split {
+        train: (0..8).collect(),
+        test: (8..11).collect(),
+    };
+    for kind in [ModelKind::Linear, ModelKind::TreeConv] {
+        let run = |threads: usize| {
+            let cfg = TrainConfig {
+                model: kind,
+                beam_width: 3,
+                sim_random_plans: 2,
+                iterations: 2,
+                planning_threads: threads,
+                pretrain_sgd: SgdConfig {
+                    epochs: 4,
+                    ..SgdConfig::default()
+                },
+                finetune_sgd: SgdConfig {
+                    epochs: 2,
+                    ..SgdConfig::default()
+                },
+                ..TrainConfig::default()
+            };
+            let env = ExecutionEnv::postgres_sim(db.clone());
+            let o = train_loop(&db, &env, &w, &split, &cfg);
+            let buffer_real = o.buffer.count(LabelSource::Real);
+            (o.model.params(), buffer_real)
+        };
+        let (serial_params, serial_real) = run(1);
+        let (pooled_params, pooled_real) = run(3);
+        assert_eq!(
+            serial_real, pooled_real,
+            "{kind:?}: experience streams diverge"
+        );
+        assert_eq!(
+            serial_params, pooled_params,
+            "{kind:?}: parallel checkpoint diverges from serial"
+        );
+        assert!(!serial_params.is_empty());
+    }
+}
+
 /// The tree-convolution model trains end-to-end through the same
 /// two-phase loop: trajectory shape holds and the selected checkpoint's
 /// held-out inference stays within a sane factor of the expert.

@@ -92,6 +92,33 @@ impl TableMask {
             }
         })
     }
+
+    /// Lowest member index (`None` when empty). DPccp's enumeration
+    /// order is keyed on this.
+    #[inline]
+    pub fn lowest(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterates over all **non-empty** subsets of this mask in ascending
+    /// numeric order — the `s' = (s' - N) & N` trick driving DPccp's
+    /// neighborhood expansion.
+    pub fn subsets(self) -> impl Iterator<Item = TableMask> {
+        let n = self.0;
+        let mut s = 0u32;
+        std::iter::from_fn(move || {
+            s = s.wrapping_sub(n) & n;
+            if s == 0 {
+                None
+            } else {
+                Some(TableMask(s))
+            }
+        })
+    }
 }
 
 /// A comparison operator for filter predicates.
@@ -219,6 +246,18 @@ impl Query {
     /// cross products are excluded from the search space, §7).
     pub fn connected(&self, a: TableMask, b: TableMask) -> bool {
         self.joins.iter().any(|e| e.crosses(a, b))
+    }
+
+    /// Per-table adjacency: `result[qt]` is the mask of tables sharing a
+    /// join edge with `qt`. Precomputed once per query by planners so
+    /// neighborhood expansion is a couple of word ops per step.
+    pub fn neighbor_masks(&self) -> Vec<TableMask> {
+        let mut adj = vec![TableMask::EMPTY; self.tables.len()];
+        for e in &self.joins {
+            adj[e.left_qt] = adj[e.left_qt].union(TableMask::single(e.right_qt));
+            adj[e.right_qt] = adj[e.right_qt].union(TableMask::single(e.left_qt));
+        }
+        adj
     }
 
     /// Whether the subset `mask` induces a connected join subgraph.
@@ -359,6 +398,30 @@ mod tests {
         assert!(!m.disjoint(TableMask::single(3)));
         assert_eq!(TableMask::all(32).count(), 32);
         assert!(TableMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn subset_enumeration_and_lowest() {
+        let m = TableMask(0b1011);
+        let subs: Vec<u32> = m.subsets().map(|s| s.0).collect();
+        assert_eq!(
+            subs,
+            vec![0b0001, 0b0010, 0b0011, 0b1000, 0b1001, 0b1010, 0b1011]
+        );
+        assert_eq!(TableMask::EMPTY.subsets().count(), 0);
+        assert_eq!(m.lowest(), Some(0));
+        assert_eq!(TableMask(0b1000).lowest(), Some(3));
+        assert_eq!(TableMask::EMPTY.lowest(), None);
+    }
+
+    #[test]
+    fn neighbor_masks_mirror_edges() {
+        let q = two_table_query();
+        let adj = q.neighbor_masks();
+        assert_eq!(adj.len(), 3);
+        assert_eq!(adj[0], TableMask(0b110)); // a -- b, a -- b2
+        assert_eq!(adj[1], TableMask(0b001));
+        assert_eq!(adj[2], TableMask(0b001));
     }
 
     #[test]

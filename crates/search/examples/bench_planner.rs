@@ -1,15 +1,20 @@
-//! Planner benchmark: DP vs beam-k ∈ {5, 10, 20} over the 113-query
-//! JOB-like workload, in expert-model cost *and* executed latency.
+//! Planner benchmark: DP (DPccp) vs the submask-scan reference DP vs
+//! beam-k ∈ {5, 10, 20} over the 113-query JOB-like workload, in
+//! expert-model cost *and* executed latency.
 //!
-//! Each planner runs against its own `ExecutionEnv` (PostgresSim):
-//! planning wall-clock time is charged through
-//! `ExecutionEnv::charge_planning` and every chosen plan is executed, so
-//! the reported `sim_clock_secs` totals include **search effort plus
-//! execution** — the same accounting the learning loop uses — not just
-//! plan quality. Per-planner aggregates report total/median planning
-//! time, cost ratios versus the DP optimum, and executed-latency
-//! statistics. Results land in `BENCH_planner.json` (JSON written by
-//! hand — the serde shim does not serialize; see vendor/README.md).
+//! Planning runs on the [`WorkerPool`] (`BALSA_PLAN_THREADS`, default =
+//! available parallelism): each planner's queries are planned in
+//! parallel, then executed serially against its own `ExecutionEnv`
+//! (PostgresSim). Planning is charged to the environment's clock as the
+//! **parallel makespan** via `ExecutionEnv::charge_planning_parallel`,
+//! so the reported `sim_clock_secs` totals include search wall-clock
+//! plus execution — the same accounting the learning loop uses. The
+//! report also records the measured parallel speedup
+//! (`plan_secs_total / plan_wall_secs`) and the DP enumeration
+//! breakdown (csg–cmp pairs, Pareto states, candidate cost calls,
+//! enumerate vs cost seconds). Results land in `BENCH_planner.json`
+//! (JSON written by hand — the serde shim does not serialize; see
+//! vendor/README.md).
 //!
 //! Run with: `cargo run --release -p balsa-search --example bench_planner`
 
@@ -17,7 +22,7 @@ use balsa_card::HistogramEstimator;
 use balsa_cost::{CostScorer, ExpertCostModel, OpWeights};
 use balsa_engine::ExecutionEnv;
 use balsa_query::workloads::job_workload;
-use balsa_search::{BeamPlanner, DpPlanner, Planner, SearchMode};
+use balsa_search::{BeamPlanner, DpPlanner, Planner, SearchMode, SubmaskDpPlanner, WorkerPool};
 use balsa_storage::{mini_imdb, DataGenConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -28,8 +33,16 @@ struct PlannerReport {
     plan_secs: Vec<f64>,
     costs: Vec<f64>,
     exec_secs: Vec<f64>,
-    /// Simulated clock total: planning + execution.
+    /// Measured wall-clock of the parallel planning phase.
+    plan_wall_secs: f64,
+    /// Simulated clock total: planning makespan + execution.
     sim_clock_secs: f64,
+    /// Summed search stats across queries.
+    pairs: usize,
+    states: usize,
+    candidates: usize,
+    enumerate_secs: f64,
+    cost_secs: f64,
 }
 
 fn median(sorted: &[f64]) -> f64 {
@@ -52,36 +65,57 @@ fn json_f(x: f64) -> String {
     }
 }
 
-/// Runs one planner over the workload on a fresh environment, charging
-/// planning time to the environment's clock and executing every plan.
-fn run_planner(
+/// Plans the workload on the pool — each worker thread builds its own
+/// planner via `make`, so per-planner scratch amortizes across that
+/// worker's queries — then executes every chosen plan serially on a
+/// fresh environment, charging the planning phase's parallel makespan
+/// to the environment's clock.
+fn run_planner<'a>(
     db: &Arc<balsa_storage::Database>,
     w: &balsa_query::Workload,
-    planner: &dyn Planner,
+    pool: &WorkerPool,
+    make: &(dyn Fn() -> Box<dyn Planner + 'a> + Sync),
 ) -> PlannerReport {
     let env = ExecutionEnv::postgres_sim(db.clone());
+    let t_plan = Instant::now();
+    let planned = pool.map_init(&w.queries, make, |planner, _, q| planner.plan(q));
+    let plan_wall_secs = t_plan.elapsed().as_secs_f64();
+
     let mut rep = PlannerReport {
-        name: planner.name(),
+        name: make().name(),
         plan_secs: Vec::new(),
         costs: Vec::new(),
         exec_secs: Vec::new(),
+        plan_wall_secs,
         sim_clock_secs: 0.0,
+        pairs: 0,
+        states: 0,
+        candidates: 0,
+        enumerate_secs: 0.0,
+        cost_secs: 0.0,
     };
-    for q in &w.queries {
-        let out = planner.plan(q);
-        env.charge_planning(out.planning_secs);
+    let plan_times: Vec<f64> = planned.iter().map(|p| p.planning_secs).collect();
+    env.charge_planning_parallel(&plan_times, pool.threads());
+    for (q, out) in w.queries.iter().zip(&planned) {
         let exec = env
             .execute(q, &out.plan, None)
             .expect("planner output must be executable");
         rep.plan_secs.push(out.planning_secs);
         rep.costs.push(out.cost);
         rep.exec_secs.push(exec.latency_secs);
+        rep.pairs += out.stats.pairs;
+        rep.states += out.stats.states;
+        rep.candidates += out.stats.candidates;
+        rep.enumerate_secs += out.stats.enumerate_secs;
+        rep.cost_secs += out.stats.cost_secs;
     }
     rep.sim_clock_secs = env.elapsed_secs();
     eprintln!(
-        "{}: planning {:.2}s, executed {:.2}s, sim clock {:.2}s over {} queries",
+        "{}: planning {:.2}s over {} threads (wall {:.2}s), executed {:.2}s, sim clock {:.2}s over {} queries",
         rep.name,
         rep.plan_secs.iter().sum::<f64>(),
+        pool.threads(),
+        rep.plan_wall_secs,
         rep.exec_secs.iter().sum::<f64>(),
         rep.sim_clock_secs,
         w.queries.len()
@@ -101,18 +135,27 @@ fn main() {
     let est = HistogramEstimator::new(&db);
     let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
     let scorer = CostScorer::new(&model, &est);
+    let pool = WorkerPool::from_env();
 
     let widths = [5usize, 10, 20];
     let mut reports: Vec<PlannerReport> = Vec::new();
 
     // DP first: its costs are the per-query baselines.
-    let dp_planner = DpPlanner::new(&db, &model, &est, SearchMode::Bushy);
-    reports.push(run_planner(&db, &w, &dp_planner));
+    reports.push(run_planner(&db, &w, &pool, &|| {
+        Box::new(DpPlanner::new(&db, &model, &est, SearchMode::Bushy))
+    }));
     let dp_costs = reports[0].costs.clone();
 
+    // The retired submask-scan DP rides along as the regression
+    // yardstick: same plans, 3^n enumeration.
+    reports.push(run_planner(&db, &w, &pool, &|| {
+        Box::new(SubmaskDpPlanner::new(&db, &model, &est, SearchMode::Bushy))
+    }));
+
     for &k in &widths {
-        let planner = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, k);
-        reports.push(run_planner(&db, &w, &planner));
+        reports.push(run_planner(&db, &w, &pool, &|| {
+            Box::new(BeamPlanner::new(&db, &scorer, SearchMode::Bushy, k))
+        }));
     }
 
     // Hand-rolled JSON.
@@ -120,6 +163,7 @@ fn main() {
     out.push_str("{\n  \"benchmark\": \"planner\",\n");
     let _ = writeln!(out, "  \"workload\": \"job_like\",");
     let _ = writeln!(out, "  \"num_queries\": {},", w.queries.len());
+    let _ = writeln!(out, "  \"planning_threads\": {},", pool.threads());
     let _ = writeln!(
         out,
         "  \"wall_secs_total\": {},",
@@ -138,13 +182,10 @@ fn main() {
             .map(|(c, d)| c / d)
             .collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let plan_total: f64 = rep.plan_secs.iter().sum();
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"name\": \"{}\",", rep.name);
-        let _ = writeln!(
-            out,
-            "      \"plan_secs_total\": {},",
-            json_f(rep.plan_secs.iter().sum())
-        );
+        let _ = writeln!(out, "      \"plan_secs_total\": {},", json_f(plan_total));
         let _ = writeln!(
             out,
             "      \"plan_secs_median\": {},",
@@ -155,6 +196,25 @@ fn main() {
             "      \"plan_secs_max\": {},",
             json_f(secs.last().copied().unwrap_or(f64::NAN))
         );
+        let _ = writeln!(
+            out,
+            "      \"plan_wall_secs\": {},",
+            json_f(rep.plan_wall_secs)
+        );
+        let _ = writeln!(
+            out,
+            "      \"plan_parallel_speedup\": {},",
+            json_f(plan_total / rep.plan_wall_secs.max(1e-12))
+        );
+        let _ = writeln!(out, "      \"pairs_total\": {},", rep.pairs);
+        let _ = writeln!(out, "      \"states_total\": {},", rep.states);
+        let _ = writeln!(out, "      \"candidates_total\": {},", rep.candidates);
+        let _ = writeln!(
+            out,
+            "      \"enumerate_secs_total\": {},",
+            json_f(rep.enumerate_secs)
+        );
+        let _ = writeln!(out, "      \"cost_secs_total\": {},", json_f(rep.cost_secs));
         let _ = writeln!(
             out,
             "      \"exec_secs_total\": {},",

@@ -1,61 +1,295 @@
-//! The exhaustive System-R-style dynamic-programming enumerator.
+//! The exhaustive dynamic-programming enumerators.
 //!
-//! Classical bottom-up join enumeration over [`TableMask`] subsets
-//! (Selinger 1979), the expert baseline the paper compares Balsa
-//! against. For every connected table subset the planner keeps a
-//! **Pareto set** of entries keyed by output order — the "interesting
-//! orders" of System R — because a subplan that streams in a join key's
-//! order can make a later merge join skip its sort. Entry `A` dominates
-//! entry `B` iff `A` costs no more *and* offers a superset of `B`'s
-//! orders; join cost is additive in child cost and monotone in child
-//! orders, so pruning dominated entries never loses the optimum and the
-//! chosen plan matches brute-force enumeration exactly.
+//! Classical bottom-up join enumeration (Selinger 1979), the expert
+//! baseline the paper compares Balsa against. For every connected table
+//! subset the planner keeps a **Pareto set** of entries keyed by output
+//! order — the "interesting orders" of System R — because a subplan that
+//! streams in a join key's order can make a later merge join skip its
+//! sort. Entry `A` dominates entry `B` iff `A` costs no more *and*
+//! offers a superset of `B`'s orders; join cost is additive in child
+//! cost and monotone in child orders, so pruning dominated entries never
+//! loses the optimum and the chosen plan matches brute-force enumeration
+//! exactly.
+//!
+//! Two enumerators share that Pareto machinery:
+//!
+//! * [`DpPlanner`] — the production planner. DPccp-style
+//!   connected-subgraph / connected-complement enumeration over the
+//!   precomputed [`JoinGraph`] adjacency (only genuinely connected
+//!   `(csg, cmp)` pairs are ever visited), a hash-indexed memo holding
+//!   entries **only for connected subsets**, interesting-order sets
+//!   packed into [`OrderMask`] bitmasks (dominance = two integer ops),
+//!   and a scratch memo reused across queries. This is the hot path the
+//!   benchmarks measure.
+//! * [`SubmaskDpPlanner`] — the original `3^n` submask-scan enumerator,
+//!   retained verbatim as the correctness oracle: the property tests
+//!   assert both planners produce bit-identical best-plan costs and
+//!   identical Pareto frontiers on every workload query.
 //!
 //! Both hint spaces are supported: [`SearchMode::Bushy`] enumerates all
 //! connected-subgraph/complement pairs, [`SearchMode::LeftDeep`] only
 //! splits off single tables (CommDbSim, §8.2).
 
 use crate::candidates::CandidateSpace;
+use crate::enumerate::JoinGraph;
 use crate::{MemoEstimator, PlannedQuery, Planner, SearchMode, SearchStats};
 use balsa_card::CardEstimator;
-use balsa_cost::{CostModel, SubtreeCost};
-use balsa_query::{Plan, Query, TableMask};
+use balsa_cost::{CostModel, OrderInterner, OrderMask, OrderSource, SubtreeCost};
+use balsa_query::{Plan, Query, ScanOp, TableMask};
 use balsa_storage::Database;
-use std::collections::BTreeSet;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One Pareto entry: the cheapest known subplan producing its exact
-/// output-order set.
+/// output-order set (packed through the query's [`OrderInterner`]).
 struct Entry {
     plan: Arc<Plan>,
     sc: SubtreeCost,
-    orders: BTreeSet<(usize, usize)>,
+    orders: OrderMask,
 }
 
-/// Inserts `cand` into the Pareto set, dropping dominated entries.
-/// Returns whether the candidate survived.
-fn pareto_insert(entries: &mut Vec<Entry>, cand: Entry) -> bool {
-    for e in entries.iter() {
-        if e.sc.work <= cand.sc.work && e.orders.is_superset(&cand.orders) {
+/// A Pareto set with its dominance keys `(work, orders)` in a compact
+/// parallel array, so the per-candidate reject-scan streams 32-byte
+/// records instead of chasing plan pointers. Dominance is two integer
+/// ops per comparison: `work` compare + order-mask superset test.
+#[derive(Default)]
+struct ParetoSet {
+    keys: Vec<(f64, OrderMask)>,
+    entries: Vec<Entry>,
+}
+
+impl ParetoSet {
+    /// Whether a candidate with this key is dominated by the set.
+    #[inline]
+    fn dominates(&self, work: f64, orders: OrderMask) -> bool {
+        self.keys
+            .iter()
+            .any(|&(w, o)| w <= work && o.contains_all(orders))
+    }
+
+    /// Cheapest work among entries whose orders cover `orders` —
+    /// the dominance threshold for a whole class of candidates
+    /// (`f64::INFINITY` when none covers it). Any candidate of this
+    /// order class whose work reaches the threshold is dominated.
+    fn dominance_threshold(&self, orders: OrderMask) -> f64 {
+        self.keys
+            .iter()
+            .filter(|(_, o)| o.contains_all(orders))
+            .map(|&(w, _)| w)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Inserts an **undominated** entry, dropping entries it dominates
+    /// (order-preserving). Callers check [`ParetoSet::dominates`] first.
+    fn insert_undominated(&mut self, entry: Entry) {
+        let (work, orders) = (entry.sc.work, entry.orders);
+        let mut i = 0;
+        while i < self.keys.len() {
+            let (w, o) = self.keys[i];
+            if work <= w && orders.contains_all(o) {
+                self.keys.remove(i);
+                self.entries.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.keys.push((work, orders));
+        self.entries.push(entry);
+    }
+
+    /// Inserts `cand`, dropping dominated entries. Returns whether the
+    /// candidate survived.
+    fn insert(&mut self, cand: Entry) -> bool {
+        if self.dominates(cand.sc.work, cand.orders) {
             return false;
         }
+        self.insert_undominated(cand);
+        true
     }
-    entries.retain(|e| !(cand.sc.work <= e.sc.work && cand.orders.is_superset(&e.orders)));
-    entries.push(cand);
-    true
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.entries.clear();
+    }
 }
 
-fn order_key(sc: &SubtreeCost) -> BTreeSet<(usize, usize)> {
-    sc.sorted_on.iter().copied().collect()
+/// One element of a reported Pareto frontier: subtree work plus the
+/// sorted, deduplicated interesting-order set. The cross-enumerator
+/// property tests compare these for exact (bitwise) equality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierEntry {
+    /// Total subtree work.
+    pub work: f64,
+    /// Output orders, sorted and deduplicated.
+    pub orders: Vec<(usize, usize)>,
 }
 
-/// The exhaustive dynamic-programming planner.
+/// Canonicalizes a frontier: per-entry order sets sorted + deduped, the
+/// frontier sorted by (work, orders).
+fn canonical_frontier(
+    entries: impl Iterator<Item = (f64, Vec<(usize, usize)>)>,
+) -> Vec<FrontierEntry> {
+    let mut out: Vec<FrontierEntry> = entries
+        .map(|(work, sorted_on)| {
+            let set: BTreeSet<(usize, usize)> = sorted_on.into_iter().collect();
+            FrontierEntry {
+                work,
+                orders: set.into_iter().collect(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.work
+            .total_cmp(&b.work)
+            .then_with(|| a.orders.cmp(&b.orders))
+    });
+    out
+}
+
+/// A [`CardEstimator`] with one union's cardinality pinned on the stack.
+///
+/// Every candidate generated for one csg–cmp pair asks the estimator for
+/// exactly the same union cardinality; resolving it once per pair turns
+/// the per-candidate lookup (a mutex + hash probe inside
+/// [`MemoEstimator`]) into two word compares. All other masks forward to
+/// the memo unchanged.
+struct PinnedCard<'a> {
+    inner: &'a MemoEstimator<'a>,
+    mask: TableMask,
+    card: f64,
+}
+
+impl<'a> PinnedCard<'a> {
+    fn new(inner: &'a MemoEstimator<'a>, query: &Query, mask: TableMask) -> Self {
+        Self {
+            inner,
+            mask,
+            card: inner.cardinality(query, mask),
+        }
+    }
+}
+
+impl CardEstimator for PinnedCard<'_> {
+    fn cardinality(&self, query: &Query, mask: TableMask) -> f64 {
+        if mask == self.mask {
+            self.card
+        } else {
+            self.inner.cardinality(query, mask)
+        }
+    }
+
+    fn base_rows(&self, query: &Query, qt: usize) -> f64 {
+        self.inner.base_rows(query, qt)
+    }
+}
+
+/// Upper bound on the distinct interesting orders `query` can surface:
+/// every `(qt, col)` that can appear in a `sorted_on` list is either a
+/// join-edge endpoint or an indexed column of a referenced table.
+/// Cheap (one pass over edges + catalog columns), computed once per
+/// query to decide whether the 128-bit order interner suffices.
+fn order_universe_size(db: &Database, query: &Query) -> usize {
+    let mut universe: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    for e in &query.joins {
+        universe.insert((e.left_qt, e.left_col));
+        universe.insert((e.right_qt, e.right_col));
+    }
+    for (qt, t) in query.tables.iter().enumerate() {
+        for (ci, c) in db.catalog().table(t.table).columns.iter().enumerate() {
+            if c.indexed {
+                universe.insert((qt, ci));
+            }
+        }
+    }
+    universe.len()
+}
+
+/// Picks the cheapest entry of a full-mask Pareto set.
+fn best_of<'e>(entries: &'e ParetoSet, query: &Query) -> &'e Entry {
+    entries
+        .entries
+        .iter()
+        .min_by(|a, b| a.sc.work.partial_cmp(&b.sc.work).expect("finite costs"))
+        .unwrap_or_else(|| panic!("no plan for {} (disconnected join graph?)", query.name))
+}
+
+// ---------------------------------------------------------------------------
+// DPccp planner
+// ---------------------------------------------------------------------------
+
+/// Reusable per-planner scratch: the hash-indexed memo (slots exist only
+/// for connected subsets actually touched), the per-query order
+/// interner, and the enumeration buckets. Cleared — allocations kept —
+/// between queries, so a planner amortizes its heap across a workload.
+#[derive(Default)]
+struct DpScratch {
+    interner: OrderInterner,
+    /// Connected mask -> dense slot index into `entries`.
+    slot_of: HashMap<u32, u32>,
+    /// Pareto sets, indexed by slot. `entries[used..]` are retired
+    /// (empty, capacity retained) sets from earlier queries.
+    entries: Vec<ParetoSet>,
+    used: usize,
+    /// Bushy mode: unordered csg–cmp pairs bucketed by union size.
+    pair_buckets: Vec<Vec<(u32, u32)>>,
+    /// Left-deep mode: connected masks bucketed by size.
+    csg_buckets: Vec<Vec<u32>>,
+}
+
+impl DpScratch {
+    /// Resets for the next query, retaining every allocation.
+    fn reset(&mut self, n: usize) {
+        self.interner.clear();
+        self.slot_of.clear();
+        for set in self.entries.iter_mut().take(self.used) {
+            set.clear();
+        }
+        self.used = 0;
+        for b in &mut self.pair_buckets {
+            b.clear();
+        }
+        if self.pair_buckets.len() < n + 1 {
+            self.pair_buckets.resize_with(n + 1, Vec::new);
+        }
+        for b in &mut self.csg_buckets {
+            b.clear();
+        }
+        if self.csg_buckets.len() < n + 1 {
+            self.csg_buckets.resize_with(n + 1, Vec::new);
+        }
+    }
+
+    /// Slot for `mask`, allocating (or recycling a retired Vec) on first
+    /// sight.
+    fn slot(&mut self, mask: u32) -> usize {
+        match self.slot_of.entry(mask) {
+            std::collections::hash_map::Entry::Occupied(o) => *o.get() as usize,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let slot = self.used;
+                if slot == self.entries.len() {
+                    self.entries.push(ParetoSet::default());
+                }
+                self.used += 1;
+                v.insert(slot as u32);
+                slot
+            }
+        }
+    }
+}
+
+/// The production DP planner: DPccp enumeration + bitmask Pareto sets.
 pub struct DpPlanner<'a> {
     db: &'a Database,
     cost: &'a dyn CostModel,
     est: &'a dyn CardEstimator,
     mode: SearchMode,
+    scratch: Mutex<DpScratch>,
 }
 
 impl<'a> DpPlanner<'a> {
@@ -71,6 +305,312 @@ impl<'a> DpPlanner<'a> {
             cost,
             est,
             mode,
+            scratch: Mutex::new(DpScratch::default()),
+        }
+    }
+
+    /// Plans `query` and additionally returns the full-mask Pareto
+    /// frontier in canonical form (for cross-enumerator equality tests).
+    pub fn plan_with_frontier(&self, query: &Query) -> (PlannedQuery, Vec<FrontierEntry>) {
+        self.run(query, true)
+    }
+
+    fn run(&self, query: &Query, want_frontier: bool) -> (PlannedQuery, Vec<FrontierEntry>) {
+        let start = Instant::now();
+        let n = query.num_tables();
+        assert!(n >= 1, "query has no tables");
+        // The interner packs order sets into 128 bits. A query whose
+        // order universe could overflow that (≥ 22 tables of ≥ 6
+        // indexed/edge columns each) routes to the BTreeSet-based
+        // submask enumerator, which has no such cap — exactly the
+        // pre-DPccp behavior for such queries, keeping `plan` total
+        // where it used to be. (A DPccp variant with uncapped set-based
+        // order keys would serve sparse many-column giants better; see
+        // ROADMAP "Planner perf, next round".)
+        if order_universe_size(self.db, query) > 128 {
+            return SubmaskDpPlanner::new(self.db, self.cost, self.est, self.mode)
+                .plan_with_frontier(query);
+        }
+        let space = CandidateSpace::new(self.db, query, self.mode);
+        let memo = MemoEstimator::new(self.est);
+        let mut stats = SearchStats::default();
+        // Reuse the planner's scratch when it is free; under concurrent
+        // `plan` calls (one planner shared across a worker pool) fall
+        // back to a fresh local scratch instead of blocking, so
+        // parallel planning never serializes and `planning_secs` never
+        // includes lock-wait. Scratch identity does not affect results.
+        let mut guard = self.scratch.try_lock();
+        let mut local;
+        let s: &mut DpScratch = match guard {
+            Some(ref mut g) => &mut *g,
+            None => {
+                local = DpScratch::default();
+                &mut local
+            }
+        };
+        s.reset(n);
+
+        // ---- Enumeration phase: adjacency + connected pairs only ----
+        let graph = JoinGraph::new(query);
+        match self.mode {
+            SearchMode::Bushy => {
+                graph.for_each_csg_cmp(&mut |a, b| {
+                    let size = a.union(b).count() as usize;
+                    s.pair_buckets[size].push((a.0, b.0));
+                    // Each unordered pair is combined in both orientations.
+                    stats.pairs += 2;
+                });
+            }
+            SearchMode::LeftDeep => {
+                graph.for_each_csg(&mut |m| {
+                    s.csg_buckets[m.count() as usize].push(m.0);
+                });
+                // Left-deep combines are counted as they run (only
+                // splits whose remainder is connected qualify).
+            }
+        }
+        stats.enumerate_secs = start.elapsed().as_secs_f64();
+
+        // ---- Costing phase ----
+        let t_cost = Instant::now();
+
+        // Base case: scan candidates per table.
+        for qt in 0..n {
+            let slot = s.slot(1u32 << qt);
+            for scan in space.scan_plans(qt) {
+                let sc = self.cost.scan_summary(query, &scan, &memo);
+                stats.candidates += 1;
+                let orders = s.interner.intern_cost(&sc);
+                s.entries[slot].insert(Entry {
+                    plan: scan,
+                    sc,
+                    orders,
+                });
+            }
+        }
+
+        // Bottom-up by subset size: every pair's sides are strictly
+        // smaller than its union, so their Pareto sets are final.
+        for size in 2..=n {
+            match self.mode {
+                SearchMode::Bushy => {
+                    for pi in 0..s.pair_buckets[size].len() {
+                        let (a, b) = s.pair_buckets[size][pi];
+                        let sa = *s.slot_of.get(&a).expect("csg side already memoized");
+                        let sb = *s.slot_of.get(&b).expect("cmp side already memoized");
+                        let target = s.slot(a | b);
+                        let mut cur = std::mem::take(&mut s.entries[target]);
+                        for (l, r, lm, rm) in [(sa, sb, a, b), (sb, sa, b, a)] {
+                            combine(
+                                &space,
+                                self.cost,
+                                query,
+                                &memo,
+                                TableMask(lm),
+                                TableMask(rm),
+                                &s.entries[l as usize],
+                                &s.entries[r as usize],
+                                &mut cur,
+                                &mut s.interner,
+                                &mut stats,
+                            );
+                        }
+                        s.entries[target] = cur;
+                    }
+                }
+                SearchMode::LeftDeep => {
+                    for mi in 0..s.csg_buckets[size].len() {
+                        let mask = s.csg_buckets[size][mi];
+                        let target = s.slot(mask);
+                        let mut cur = std::mem::take(&mut s.entries[target]);
+                        for t in TableMask(mask).iter() {
+                            let rest = mask & !(1u32 << t);
+                            // The remainder must itself be connected (a
+                            // memo slot exists for every connected csg of
+                            // smaller size) and share an edge with `t`.
+                            let Some(&sr) = s.slot_of.get(&rest) else {
+                                continue;
+                            };
+                            if !graph.connected_between(TableMask(rest), TableMask::single(t)) {
+                                continue;
+                            }
+                            let st = *s.slot_of.get(&(1u32 << t)).expect("scan slot");
+                            stats.pairs += 1;
+                            combine(
+                                &space,
+                                self.cost,
+                                query,
+                                &memo,
+                                TableMask(rest),
+                                TableMask::single(t),
+                                &s.entries[sr as usize],
+                                &s.entries[st as usize],
+                                &mut cur,
+                                &mut s.interner,
+                                &mut stats,
+                            );
+                        }
+                        s.entries[target] = cur;
+                    }
+                }
+            }
+        }
+        stats.cost_secs = t_cost.elapsed().as_secs_f64();
+
+        stats.states = s.entries[..s.used].iter().map(ParetoSet::len).sum();
+        let full = TableMask::all(n).0;
+        let full_slot = *s
+            .slot_of
+            .get(&full)
+            .unwrap_or_else(|| panic!("no plan for {} (disconnected join graph?)", query.name));
+        let full_entries = &s.entries[full_slot as usize];
+        let best = best_of(full_entries, query);
+        let planned = PlannedQuery {
+            plan: best.plan.clone(),
+            cost: best.sc.work,
+            stats,
+            planning_secs: start.elapsed().as_secs_f64(),
+        };
+        let frontier = if want_frontier {
+            canonical_frontier(
+                full_entries
+                    .entries
+                    .iter()
+                    .map(|e| (e.sc.work, e.sc.sorted_on.clone())),
+            )
+        } else {
+            Vec::new()
+        };
+        (planned, frontier)
+    }
+}
+
+/// Combines every (left entry, right entry, join op) candidate into
+/// `cur`'s Pareto set. Orientation is fixed by the caller; connectivity
+/// and disjointness hold by construction of the enumeration, and the
+/// left-deep right side is always a single-table slot, so the
+/// [`CandidateSpace`] mode filter is already satisfied.
+///
+/// The hot path runs through the cost model's [`PairCoster`] session:
+/// per candidate it is a virtual work call, an order-mask derivation
+/// (two integer ops for hash/NL), and the dominance reject-scan — no
+/// allocation at all until a candidate survives. Models without a
+/// session fall back to [`CostModel::join_summary_parts`] per candidate
+/// (with the union cardinality pinned).
+// The parameter list is the DP inner-loop context; a struct would be
+// rebuilt per bucket for no gain.
+#[allow(clippy::too_many_arguments)]
+fn combine(
+    space: &CandidateSpace<'_>,
+    cost: &dyn CostModel,
+    query: &Query,
+    memo: &MemoEstimator<'_>,
+    lmask: TableMask,
+    rmask: TableMask,
+    left: &ParetoSet,
+    right: &ParetoSet,
+    cur: &mut ParetoSet,
+    interner: &mut OrderInterner,
+    stats: &mut SearchStats,
+) {
+    if let Some(coster) = cost.pair_coster(query, lmask, rmask, memo) {
+        // Resolve each operator's order semantics once per orientation;
+        // the session-constant order list is interned at most once.
+        let ops = space.join_ops();
+        let mut sources = [OrderSource::Empty; 8];
+        assert!(ops.len() <= sources.len(), "more join ops than expected");
+        for (i, &op) in ops.iter().enumerate() {
+            sources[i] = coster.order_source(op);
+        }
+        let mut pair_mask: Option<OrderMask> = None;
+        // Cached dominance thresholds per order class. A candidate's
+        // order mask is known *before* costing, and (for models that
+        // declare it) work is child-monotone, so
+        // `threshold <= lc.work + rc.work` rejects a candidate without
+        // the costing call at all. Stale values are only ever too high
+        // (inserts can only lower a threshold), and every insert
+        // refreshes them, so the early reject is exact.
+        let monotone = coster.child_monotone();
+        let mut thresh_empty = cur.dominance_threshold(OrderMask::EMPTY);
+        let mut thresh_pair = f64::INFINITY;
+        let mut thresh_pair_valid = false;
+        for le in &left.entries {
+            let mut thresh_left = cur.dominance_threshold(le.orders);
+            for re in &right.entries {
+                debug_assert!(space.allows_join(&le.plan, &re.plan));
+                let right_index_scan = matches!(
+                    &*re.plan,
+                    Plan::Scan {
+                        op: ScanOp::Index,
+                        ..
+                    }
+                );
+                let base = le.sc.work + re.sc.work;
+                for (i, &op) in ops.iter().enumerate() {
+                    stats.candidates += 1;
+                    let (orders, thresh) = match sources[i] {
+                        OrderSource::Empty => (OrderMask::EMPTY, thresh_empty),
+                        OrderSource::LeftInput => (le.orders, thresh_left),
+                        OrderSource::Pair => {
+                            let m = *pair_mask
+                                .get_or_insert_with(|| interner.intern(coster.pair_sorted_on()));
+                            if !thresh_pair_valid {
+                                thresh_pair = cur.dominance_threshold(m);
+                                thresh_pair_valid = true;
+                            }
+                            (m, thresh_pair)
+                        }
+                    };
+                    if monotone && thresh <= base {
+                        continue; // dominated whatever the exact work is
+                    }
+                    let (work, out_rows) = coster.work_out(op, &le.sc, &re.sc, right_index_scan);
+                    if cur.dominates(work, orders) {
+                        continue;
+                    }
+                    let sorted_on = match sources[i] {
+                        OrderSource::Empty => Vec::new(),
+                        OrderSource::LeftInput => le.sc.sorted_on.clone(),
+                        OrderSource::Pair => coster.pair_sorted_on().to_vec(),
+                    };
+                    let plan = Plan::join(op, le.plan.clone(), re.plan.clone());
+                    cur.insert_undominated(Entry {
+                        plan,
+                        sc: SubtreeCost {
+                            work,
+                            out_rows,
+                            sorted_on,
+                        },
+                        orders,
+                    });
+                    // Inserts are rare; refresh every cached threshold.
+                    thresh_empty = cur.dominance_threshold(OrderMask::EMPTY);
+                    thresh_left = cur.dominance_threshold(le.orders);
+                    if let Some(m) = pair_mask {
+                        thresh_pair = cur.dominance_threshold(m);
+                    }
+                }
+            }
+        }
+        return;
+    }
+    // Fallback for models without a pair session: per-candidate summary
+    // with the union cardinality pinned.
+    let pinned = PinnedCard::new(memo, query, lmask.union(rmask));
+    for le in &left.entries {
+        for re in &right.entries {
+            debug_assert!(space.allows_join(&le.plan, &re.plan));
+            for &op in space.join_ops() {
+                let sc =
+                    cost.join_summary_parts(query, op, &le.plan, &le.sc, &re.plan, &re.sc, &pinned);
+                stats.candidates += 1;
+                let orders = interner.intern_cost(&sc);
+                if cur.dominates(sc.work, orders) {
+                    continue;
+                }
+                let plan = Plan::join(op, le.plan.clone(), re.plan.clone());
+                cur.insert_undominated(Entry { plan, sc, orders });
+            }
         }
     }
 }
@@ -84,6 +624,67 @@ impl Planner for DpPlanner<'_> {
     }
 
     fn plan(&self, query: &Query) -> PlannedQuery {
+        self.run(query, false).0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Submask-scan reference planner
+// ---------------------------------------------------------------------------
+
+/// Reference entry: orders as the original `BTreeSet` representation.
+struct RefEntry {
+    plan: Arc<Plan>,
+    sc: SubtreeCost,
+    orders: BTreeSet<(usize, usize)>,
+}
+
+fn ref_pareto_insert(entries: &mut Vec<RefEntry>, cand: RefEntry) -> bool {
+    for e in entries.iter() {
+        if e.sc.work <= cand.sc.work && e.orders.is_superset(&cand.orders) {
+            return false;
+        }
+    }
+    entries.retain(|e| !(cand.sc.work <= e.sc.work && cand.orders.is_superset(&e.orders)));
+    entries.push(cand);
+    true
+}
+
+/// The original `3^n` submask-scan DP, retained as the correctness
+/// oracle for [`DpPlanner`]: it visits every `(submask, complement)`
+/// split of every subset and filters by a precomputed `2^n`
+/// connectivity table. Slow on 14-table queries (that is why it was
+/// replaced) but embarrassingly simple — the property tests assert the
+/// DPccp planner matches it bit-for-bit.
+///
+/// Its [`SearchStats`] timing breakdown (`enumerate_secs`/`cost_secs`)
+/// stays zero: enumeration and costing interleave per submask, so the
+/// split is not measurable without per-iteration timers.
+pub struct SubmaskDpPlanner<'a> {
+    db: &'a Database,
+    cost: &'a dyn CostModel,
+    est: &'a dyn CardEstimator,
+    mode: SearchMode,
+}
+
+impl<'a> SubmaskDpPlanner<'a> {
+    /// Creates the reference planner.
+    pub fn new(
+        db: &'a Database,
+        cost: &'a dyn CostModel,
+        est: &'a dyn CardEstimator,
+        mode: SearchMode,
+    ) -> Self {
+        Self {
+            db,
+            cost,
+            est,
+            mode,
+        }
+    }
+
+    /// Plans `query` and returns the canonical full-mask Pareto frontier.
+    pub fn plan_with_frontier(&self, query: &Query) -> (PlannedQuery, Vec<FrontierEntry>) {
         let start = Instant::now();
         let n = query.num_tables();
         assert!(n >= 1, "query has no tables");
@@ -92,18 +693,18 @@ impl Planner for DpPlanner<'_> {
         let connected = space.connected_table();
         let mut stats = SearchStats::default();
 
-        // table[mask] = Pareto set of subplans covering exactly `mask`.
-        let mut table: Vec<Vec<Entry>> = (0..1usize << n).map(|_| Vec::new()).collect();
+        // Eager table over all 2^n subsets — the allocation pattern the
+        // DPccp planner's hash memo replaces.
+        let mut table: Vec<Vec<RefEntry>> = (0..1usize << n).map(|_| Vec::new()).collect();
 
-        // Base case: scan candidates per table.
         for qt in 0..n {
             for scan in space.scan_plans(qt) {
                 let sc = self.cost.scan_summary(query, &scan, &memo);
                 stats.candidates += 1;
-                let orders = order_key(&sc);
-                pareto_insert(
+                let orders = sc.sorted_on.iter().copied().collect();
+                ref_pareto_insert(
                     &mut table[1usize << qt],
-                    Entry {
+                    RefEntry {
                         plan: scan,
                         sc,
                         orders,
@@ -118,15 +719,10 @@ impl Planner for DpPlanner<'_> {
             if !connected[mask] || (mask & (mask - 1)) == 0 {
                 continue; // disconnected or singleton
             }
-            // Split the table so `cur` (at `mask`) is mutable while all
-            // smaller subsets stay readable.
             let (lo, hi) = table.split_at_mut(mask);
             let cur = &mut hi[0];
-            let combine = |left_mask: usize,
-                           right_mask: usize,
-                           lo: &[Vec<Entry>],
-                           cur: &mut Vec<Entry>,
-                           stats: &mut SearchStats| {
+            let mut combine = |left_mask: usize, right_mask: usize, stats: &mut SearchStats| {
+                stats.pairs += 1;
                 for le in &lo[left_mask] {
                     for re in &lo[right_mask] {
                         if !space.allows_join(&le.plan, &re.plan) {
@@ -136,21 +732,19 @@ impl Planner for DpPlanner<'_> {
                             let plan = Plan::join(op, le.plan.clone(), re.plan.clone());
                             let sc = self.cost.join_summary(query, &plan, &le.sc, &re.sc, &memo);
                             stats.candidates += 1;
-                            let orders = order_key(&sc);
-                            pareto_insert(cur, Entry { plan, sc, orders });
+                            let orders = sc.sorted_on.iter().copied().collect();
+                            ref_pareto_insert(cur, RefEntry { plan, sc, orders });
                         }
                     }
                 }
             };
             match self.mode {
                 SearchMode::Bushy => {
-                    // All ordered (submask, complement) pairs; both sides
-                    // connected implies a crossing edge exists.
                     let mut a = (mask - 1) & mask;
                     while a != 0 {
                         let b = mask & !a;
                         if connected[a] && connected[b] {
-                            combine(a, b, lo, cur, &mut stats);
+                            combine(a, b, &mut stats);
                         }
                         a = (a - 1) & mask;
                     }
@@ -159,7 +753,7 @@ impl Planner for DpPlanner<'_> {
                     for t in TableMask(mask as u32).iter() {
                         let rest = mask & !(1usize << t);
                         if connected[rest] {
-                            combine(rest, 1usize << t, lo, cur, &mut stats);
+                            combine(rest, 1usize << t, &mut stats);
                         }
                     }
                 }
@@ -172,12 +766,31 @@ impl Planner for DpPlanner<'_> {
             .iter()
             .min_by(|a, b| a.sc.work.partial_cmp(&b.sc.work).expect("finite costs"))
             .unwrap_or_else(|| panic!("no plan for {} (disconnected join graph?)", query.name));
-        PlannedQuery {
+        let planned = PlannedQuery {
             plan: best.plan.clone(),
             cost: best.sc.work,
             stats,
             planning_secs: start.elapsed().as_secs_f64(),
+        };
+        let frontier = canonical_frontier(
+            table[full]
+                .iter()
+                .map(|e| (e.sc.work, e.sc.sorted_on.clone())),
+        );
+        (planned, frontier)
+    }
+}
+
+impl Planner for SubmaskDpPlanner<'_> {
+    fn name(&self) -> String {
+        match self.mode {
+            SearchMode::Bushy => format!("dp-submask-bushy/{}", self.cost.name()),
+            SearchMode::LeftDeep => format!("dp-submask-leftdeep/{}", self.cost.name()),
         }
+    }
+
+    fn plan(&self, query: &Query) -> PlannedQuery {
+        self.plan_with_frontier(query).0
     }
 }
 
@@ -187,6 +800,7 @@ mod tests {
     use balsa_card::HistogramEstimator;
     use balsa_cost::{CoutModel, ExpertCostModel, OpWeights};
     use balsa_query::workloads::job_workload;
+    use balsa_query::ScanOp;
     use balsa_storage::{mini_imdb, DataGenConfig};
 
     fn fixture() -> (Arc<Database>, balsa_query::Workload) {
@@ -209,6 +823,12 @@ mod tests {
             assert_eq!(out.plan.mask(), q.all_mask(), "{}", q.name);
             assert!(out.cost.is_finite() && out.cost > 0.0);
             assert!(out.stats.candidates > 0);
+            assert!(out.stats.pairs > 0);
+            // The DPccp path reports its timing breakdown (the submask
+            // fallback leaves it zero), so this also proves the fast
+            // path — not the order-overflow fallback — handled the
+            // query.
+            assert!(out.stats.enumerate_secs > 0.0);
             // Reported cost must equal an independent full re-cost.
             let recost = model.plan_cost(q, &out.plan, &est);
             assert!(
@@ -218,6 +838,47 @@ mod tests {
                 out.cost,
                 recost
             );
+        }
+    }
+
+    #[test]
+    fn order_universe_bound_covers_all_sorted_on_sources() {
+        let (db, w) = fixture();
+        for q in w.queries.iter().take(12) {
+            let bound = order_universe_size(&db, q);
+            // Every workload query fits the 128-bit interner with room.
+            assert!(bound <= 128, "{}: universe {bound}", q.name);
+            // And the bound really is an upper bound: plan and check
+            // the interner never saw more orders than predicted.
+            let est = HistogramEstimator::new(&db);
+            let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+            let planner = DpPlanner::new(&db, &model, &est, SearchMode::Bushy);
+            planner.plan(q);
+            let seen = planner.scratch.lock().interner.len();
+            assert!(seen <= bound, "{}: interned {seen} > bound {bound}", q.name);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_is_clean() {
+        // One planner instance planning many queries must give the same
+        // answers as fresh planners (the scratch reset is complete).
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        let shared = DpPlanner::new(&db, &model, &est, SearchMode::Bushy);
+        for q in w.queries.iter().take(8) {
+            let fresh = DpPlanner::new(&db, &model, &est, SearchMode::Bushy).plan(q);
+            let reused = shared.plan(q);
+            assert_eq!(reused.cost.to_bits(), fresh.cost.to_bits(), "{}", q.name);
+            assert_eq!(
+                reused.plan.fingerprint(),
+                fresh.plan.fingerprint(),
+                "{}",
+                q.name
+            );
+            assert_eq!(reused.stats.states, fresh.stats.states);
+            assert_eq!(reused.stats.candidates, fresh.stats.candidates);
         }
     }
 
@@ -265,28 +926,32 @@ mod tests {
 
     #[test]
     fn pareto_insert_dominance() {
-        let mk = |work: f64, orders: &[(usize, usize)]| Entry {
-            plan: Plan::scan(0, balsa_query::ScanOp::Seq),
+        let mut interner = OrderInterner::new();
+        let mut mk = |work: f64, orders: &[(usize, usize)]| Entry {
+            plan: Plan::scan(0, ScanOp::Seq),
             sc: SubtreeCost {
                 work,
                 out_rows: 1.0,
                 sorted_on: orders.to_vec(),
             },
-            orders: orders.iter().copied().collect(),
+            orders: interner.intern(orders),
         };
-        let mut v = Vec::new();
-        assert!(pareto_insert(&mut v, mk(10.0, &[])));
+        let mut v = ParetoSet::default();
+        assert!(v.insert(mk(10.0, &[])));
         // Cheaper, same orders: replaces.
-        assert!(pareto_insert(&mut v, mk(8.0, &[])));
+        assert!(v.insert(mk(8.0, &[])));
         assert_eq!(v.len(), 1);
         // More expensive but more orders: kept.
-        assert!(pareto_insert(&mut v, mk(9.0, &[(0, 1)])));
+        assert!(v.insert(mk(9.0, &[(0, 1)])));
         assert_eq!(v.len(), 2);
         // More expensive, no orders: dominated.
-        assert!(!pareto_insert(&mut v, mk(8.5, &[])));
+        assert!(!v.insert(mk(8.5, &[])));
         // Cheaper with the same orders as the ordered entry: replaces it
         // AND dominates the plain one.
-        assert!(pareto_insert(&mut v, mk(7.0, &[(0, 1)])));
+        assert!(v.insert(mk(7.0, &[(0, 1)])));
         assert_eq!(v.len(), 1);
+        // The parallel key array stays in lockstep.
+        assert_eq!(v.keys.len(), v.entries.len());
+        assert_eq!(v.keys[0].0, 7.0);
     }
 }

@@ -30,11 +30,15 @@
 pub mod beam;
 pub mod candidates;
 pub mod dp;
+pub mod enumerate;
+pub mod pool;
 pub mod random;
 
 pub use beam::BeamPlanner;
 pub use candidates::CandidateSpace;
-pub use dp::DpPlanner;
+pub use dp::{DpPlanner, FrontierEntry, SubmaskDpPlanner};
+pub use enumerate::JoinGraph;
+pub use pool::WorkerPool;
 pub use random::{random_plan, RandomPlanner};
 
 // Moved to `balsa-card` so the scoring layer (`balsa_cost::PlanScorer`)
@@ -68,10 +72,23 @@ impl SearchMode {
 /// Search effort counters reported by a planner run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
-    /// Distinct states retained (DP subset entries / beam states).
+    /// Distinct states retained (DP Pareto entries / beam states).
+    /// Never-populated memo slots (disconnected subsets) do not count.
     pub states: usize,
-    /// Candidate plans generated and scored.
+    /// Candidate plans generated. In the DP this counts every
+    /// (left, right, operator) combination considered — including
+    /// candidates the child-monotone early reject prunes *before* their
+    /// costing call — so it measures enumeration volume, not cost-call
+    /// volume.
     pub candidates: usize,
+    /// Ordered csg–cmp pairs combined by a DP enumerator (0 for beam /
+    /// random search).
+    pub pairs: usize,
+    /// Seconds spent enumerating pairs (adjacency build + DPccp walk);
+    /// 0 where enumeration and costing interleave unmeasurably.
+    pub enumerate_secs: f64,
+    /// Seconds spent in the costing/Pareto inner loop.
+    pub cost_secs: f64,
 }
 
 /// A planner's answer for one query.

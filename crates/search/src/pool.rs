@@ -1,0 +1,210 @@
+//! A minimal scoped worker pool for per-query parallelism.
+//!
+//! Planning is embarrassingly parallel across queries — every
+//! [`crate::Planner::plan`] call is independent — and the training
+//! loop's per-iteration planning/featurization phase is the dominant
+//! CPU cost once execution is simulated. The vendor shims cannot pull
+//! in rayon, so [`WorkerPool`] provides the one primitive the
+//! workspace needs: an indexed parallel map over a slice, built on
+//! `std::thread::scope` with zero external dependencies.
+//!
+//! **Determinism.** Work is distributed dynamically (an atomic cursor),
+//! but results are written to their item's index, so the output order
+//! is always the input order regardless of scheduling. Callers that
+//! need reproducible randomness seed an RNG per item (e.g. the beam's
+//! exploration RNG is keyed on query id), never per worker — under that
+//! contract a run with `t` threads is bit-identical to the serial run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width scoped worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool running `threads` workers (`>= 1`; 1 means fully
+    /// serial execution on the calling thread).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Pool sized from the `BALSA_PLAN_THREADS` environment variable,
+    /// falling back to the machine's available parallelism.
+    pub fn from_env() -> Self {
+        Self::new(env_threads())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in input order. `f`
+    /// receives `(index, &item)`. Runs on the calling thread when the
+    /// pool is serial or the input is trivial.
+    ///
+    /// # Panics
+    /// Propagates the first worker panic.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_init(items, || (), |(), i, t| f(i, t))
+    }
+
+    /// Like [`WorkerPool::map`], but every worker thread first builds a
+    /// private state with `init` (once per worker, not per item) and
+    /// `f` receives `(&mut state, index, &item)` — the hook for
+    /// per-worker planners whose scratch memo amortizes across the
+    /// items a worker processes.
+    ///
+    /// # Panics
+    /// Propagates the first worker panic.
+    pub fn map_init<S, T, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        let results = std::sync::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Compute a local batch, then publish by index so
+                    // output order never depends on scheduling.
+                    let mut state = init();
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(&mut state, i, &items[i])));
+                    }
+                    let mut out = results.lock().expect("no poisoned result slots");
+                    for (i, r) in produced {
+                        out[i] = Some(r);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index produced exactly once"))
+            .collect()
+    }
+}
+
+/// Thread count from `BALSA_PLAN_THREADS` (≥ 1), else the machine's
+/// available parallelism, else 1.
+pub fn env_threads() -> usize {
+    std::env::var("BALSA_PLAN_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        // 0 means "pool off" (serial), matching WorkerPool's own clamp.
+        .map(|t| t.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        WorkerPool::new(7).map(&items, |_, &x| {
+            counters[x].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn env_zero_threads_means_serial() {
+        // Not a full env-var test (process-global state); just the
+        // clamp contract both entry points share.
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+        assert_eq!(WorkerPool::new(1).threads(), 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = WorkerPool::new(4);
+        let empty: Vec<u8> = Vec::new();
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[9u8], |_, &x| x + 1), vec![10]);
+        assert_eq!(WorkerPool::new(0).threads(), 1, "clamped to serial");
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_map() {
+        let items: Vec<u64> = (0..512).collect();
+        let f = |i: usize, x: &u64| (i as u64).wrapping_mul(0x9E3779B9) ^ x;
+        let serial = WorkerPool::new(1).map(&items, f);
+        let parallel = WorkerPool::new(5).map(&items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_init_builds_one_state_per_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 3, 8] {
+            let inits = AtomicUsize::new(0);
+            let out = WorkerPool::new(threads).map_init(
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    0usize
+                },
+                |state, _, &x| {
+                    *state += 1; // worker-local: never racy
+                    x * 3
+                },
+            );
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+            let n = inits.load(Ordering::SeqCst);
+            assert!(
+                (1..=threads.max(1)).contains(&n),
+                "{threads} threads built {n} states"
+            );
+        }
+    }
+}

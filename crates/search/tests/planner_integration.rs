@@ -14,10 +14,12 @@
 use balsa_card::CardEstimator;
 use balsa_cost::{CostModel, CostScorer, ExpertCostModel, OpWeights, SubtreeCost};
 use balsa_engine::{EnvError, ExecutionEnv};
+use balsa_query::workloads::ext_job_workload;
 use balsa_query::workloads::job_workload;
 use balsa_query::{Plan, Split, TableMask};
 use balsa_search::{
     random_plan, BeamPlanner, CandidateSpace, DpPlanner, MemoEstimator, Planner, SearchMode,
+    SubmaskDpPlanner, WorkerPool,
 };
 use balsa_storage::{mini_imdb, DataGenConfig};
 use rand::rngs::SmallRng;
@@ -255,6 +257,112 @@ fn dp_plan_beats_median_random_plan_latency() {
             median
         );
     }
+}
+
+/// Tentpole property test: the DPccp enumerator is **bit-identical** to
+/// the original submask-scan DP on every JOB-like and ext-JOB query —
+/// best-plan cost, full-mask Pareto frontier, retained-state count,
+/// candidate count, and ordered csg–cmp pair count all match exactly.
+#[test]
+fn dpccp_matches_submask_dp_on_all_workload_queries() {
+    let db = small_db();
+    let est = balsa_card::HistogramEstimator::new(&db);
+    let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+    let job = job_workload(db.catalog(), 7);
+    let ext = ext_job_workload(db.catalog(), 7);
+    assert_eq!(job.queries.len() + ext.queries.len(), 137);
+    let mut biggest = 0usize;
+    for q in job.queries.iter().chain(&ext.queries) {
+        biggest = biggest.max(q.num_tables());
+        for mode in [SearchMode::Bushy, SearchMode::LeftDeep] {
+            let (new, new_frontier) = DpPlanner::new(&db, &model, &est, mode).plan_with_frontier(q);
+            let (old, old_frontier) =
+                SubmaskDpPlanner::new(&db, &model, &est, mode).plan_with_frontier(q);
+            assert_eq!(
+                new.cost.to_bits(),
+                old.cost.to_bits(),
+                "{} ({mode:?}): dpccp cost {} != submask cost {}",
+                q.name,
+                new.cost,
+                old.cost
+            );
+            assert_eq!(
+                new_frontier, old_frontier,
+                "{} ({mode:?}): Pareto frontiers diverge",
+                q.name
+            );
+            assert_eq!(new.stats.states, old.stats.states, "{} states", q.name);
+            assert_eq!(
+                new.stats.candidates, old.stats.candidates,
+                "{} candidates",
+                q.name
+            );
+            assert_eq!(new.stats.pairs, old.stats.pairs, "{} pairs", q.name);
+            assert_eq!(new.plan.mask(), q.all_mask());
+        }
+    }
+    assert!(
+        biggest >= 14,
+        "workloads must include 14-table queries, saw max {biggest}"
+    );
+}
+
+/// The same bit-identity contract for the other bundled cost models —
+/// `C_out` (monotone, orderless) and `C_mm` (whose nested-loop formula
+/// is **not** child-monotone, exercising the DP's pruning opt-out).
+#[test]
+fn dpccp_matches_submask_dp_on_cout_and_cmm() {
+    let db = small_db();
+    let est = balsa_card::HistogramEstimator::new(&db);
+    let job = job_workload(db.catalog(), 7);
+    let models: [&dyn CostModel; 2] = [&balsa_cost::CoutModel, &balsa_cost::CmmModel];
+    for model in models {
+        for q in job.queries.iter().step_by(4) {
+            for mode in [SearchMode::Bushy, SearchMode::LeftDeep] {
+                let (new, new_frontier) =
+                    DpPlanner::new(&db, model, &est, mode).plan_with_frontier(q);
+                let (old, old_frontier) =
+                    SubmaskDpPlanner::new(&db, model, &est, mode).plan_with_frontier(q);
+                assert_eq!(
+                    new.cost.to_bits(),
+                    old.cost.to_bits(),
+                    "{} {} ({mode:?}): dpccp {} != submask {}",
+                    model.name(),
+                    q.name,
+                    new.cost,
+                    old.cost
+                );
+                assert_eq!(new_frontier, old_frontier, "{} {}", model.name(), q.name);
+                assert_eq!(new.stats.candidates, old.stats.candidates);
+                assert_eq!(new.stats.states, old.stats.states);
+            }
+        }
+    }
+}
+
+/// The worker pool planning queries in parallel produces exactly the
+/// serial results (plans, costs, stats) in input order.
+#[test]
+fn parallel_planning_matches_serial_planning() {
+    let db = small_db();
+    let est = balsa_card::HistogramEstimator::new(&db);
+    let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+    let w = job_workload(db.catalog(), 7);
+    let queries: Vec<_> = w.queries.iter().take(24).collect();
+    let outs: Vec<Vec<(u64, u64)>> = [1usize, 4]
+        .iter()
+        .map(|&threads| {
+            let pool = WorkerPool::new(threads);
+            // One planner per worker invocation is the pool's intended
+            // pattern; a single shared planner must also be safe.
+            let planner = DpPlanner::new(&db, &model, &est, SearchMode::Bushy);
+            pool.map(&queries, |_, q| {
+                let out = planner.plan(q);
+                (out.plan.fingerprint(), out.cost.to_bits())
+            })
+        })
+        .collect();
+    assert_eq!(outs[0], outs[1], "parallel planning diverged from serial");
 }
 
 /// The planning layer end-to-end on one mid-size query: DP on estimated

@@ -26,6 +26,16 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquires the lock only if it is free right now (parking_lot's
+    /// `try_lock`: `Option`, not `Result`).
+    pub fn try_lock(&self) -> Option<std::sync::MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
@@ -65,6 +75,17 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_contends_without_blocking() {
+        let m = Mutex::new(5);
+        {
+            let held = m.lock();
+            assert!(m.try_lock().is_none(), "held lock must not be acquired");
+            assert_eq!(*held, 5);
+        }
+        assert_eq!(*m.try_lock().expect("free lock"), 5);
     }
 
     #[test]
