@@ -37,6 +37,7 @@ impl CmmModel {
                 left,
                 right,
                 mask,
+                ..
             } => {
                 let (cl, rl) = self.rec(q, left, est);
                 let (cr, rr) = self.rec(q, right, est);

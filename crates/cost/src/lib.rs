@@ -40,7 +40,7 @@ pub use orders::{OrderInterner, OrderMask};
 pub use physical::{
     join_cost, physical_cost, scan_cost, JoinPairCost, NodeCost, OpWeights, SubtreeCost,
 };
-pub use scorer::{CostScorer, PlanScorer, QueryScorer, ScoredTree, SubtreeExt};
+pub use scorer::{CostScorer, JoinCandidate, PlanScorer, QueryScorer, ScoredTree, SubtreeExt};
 
 use balsa_card::CardEstimator;
 use balsa_query::{JoinOp, Plan, Query, TableMask};

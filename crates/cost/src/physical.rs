@@ -408,6 +408,7 @@ pub fn physical_cost(
                 left,
                 right,
                 mask,
+                ..
             } => {
                 let l = rec(db, q, left, est, w, nodes);
                 let r = rec(db, q, right, est, w, nodes);

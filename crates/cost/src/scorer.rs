@@ -66,8 +66,22 @@ pub trait PlanScorer: Send + Sync {
     fn for_query<'q>(&'q self, query: &'q Query) -> Box<dyn QueryScorer + 'q>;
 }
 
-/// A per-query scoring session.
-pub trait QueryScorer {
+/// One candidate join submitted to a batched scoring call
+/// ([`QueryScorer::score_join_batch`]): the join plan plus its
+/// children's scored subtrees.
+pub struct JoinCandidate<'a> {
+    /// The candidate join (a [`Plan::Join`]).
+    pub join: &'a Plan,
+    /// The left child's scored subtree.
+    pub lc: &'a ScoredTree,
+    /// The right child's scored subtree.
+    pub rc: &'a ScoredTree,
+}
+
+/// A per-query scoring session. `Sync` so one session can score
+/// candidate batches across worker threads (the beam's intra-query
+/// parallel expansion); implementations guard their per-query caches.
+pub trait QueryScorer: Sync {
     /// Scores a scan leaf (a [`Plan::Scan`]).
     fn score_scan(&self, scan: &Plan) -> ScoredTree;
 
@@ -75,6 +89,19 @@ pub trait QueryScorer {
     /// subtrees. Must agree with what scoring the same tree from its
     /// leaves upward produces.
     fn score_join(&self, join: &Plan, lc: &ScoredTree, rc: &ScoredTree) -> ScoredTree;
+
+    /// Scores a whole batch of candidate joins in one pass, appending
+    /// one [`ScoredTree`] per candidate to `out` in input order.
+    ///
+    /// This is the beam's per-level hot path: scorers that can amortize
+    /// work across candidates (the learned value models batch their
+    /// forward passes into filters × batch matrix products) override
+    /// it. The contract is **bit-identity**: the appended trees must
+    /// equal calling [`QueryScorer::score_join`] per candidate, in
+    /// order — batching is a layout change, never a math change.
+    fn score_join_batch(&self, cands: &[JoinCandidate<'_>], out: &mut Vec<ScoredTree>) {
+        out.extend(cands.iter().map(|c| self.score_join(c.join, c.lc, c.rc)));
+    }
 }
 
 /// Adapts a [`CostModel`] over a [`CardEstimator`] to the [`PlanScorer`]

@@ -235,7 +235,7 @@ impl ExecutionEnv {
             &self.profile.weights,
             None,
         );
-        let noise = self.noise_factor(key);
+        let noise = self.noise_factor((key.0, latency_hash(plan)));
         let latency_secs = self.profile.startup_secs + work * self.profile.time_per_work * noise;
         let run = CachedRun { latency_secs, work };
         *self.misses.lock() += 1;
@@ -271,8 +271,7 @@ impl ExecutionEnv {
         timeout_secs: Option<f64>,
     ) -> Result<(ExecOutcome, Vec<SubtreeObs>), EnvError> {
         let outcome = self.execute(query, plan, timeout_secs)?;
-        let key = (query_key(query), plan.fingerprint());
-        let noise = self.noise_factor(key);
+        let noise = self.noise_factor((query_key(query), latency_hash(plan)));
         let mut works: Vec<(Arc<Plan>, f64)> = Vec::new();
         self.subtree_works(query, plan, &mut works);
         let labels = works
@@ -357,6 +356,14 @@ impl ExecutionEnv {
     }
 
     /// Deterministic mean-one log-normal noise for one (query, plan) key.
+    ///
+    /// The plan half of the key comes from [`latency_hash`], **not**
+    /// [`Plan::fingerprint`]: the noise draw is part of the recorded
+    /// simulation (benchmark baselines, learning curves), so it is
+    /// pinned to a frozen structural encoding. The planner-facing
+    /// fingerprint is free to evolve for hot-path reasons (it became
+    /// compositional and construction-cached in PR 5) without
+    /// re-rolling every simulated latency in the workload.
     fn noise_factor(&self, key: (u64, u64)) -> f64 {
         let sigma = self.profile.noise_sigma;
         if sigma <= 0.0 {
@@ -377,6 +384,17 @@ impl ExecutionEnv {
         // Subtract σ²/2 so E[noise] = 1.
         (sigma * z - sigma * sigma / 2.0).exp()
     }
+}
+
+/// Frozen structural plan hash feeding the latency-noise key
+/// ([`Plan::canonical_hash`] — the original fingerprint encoding, never
+/// changed), so every recorded simulated latency (benchmark baselines,
+/// learning curves, timeout budgets derived from them) survives
+/// fingerprint-algorithm evolution. O(plan) per execution call (cache
+/// misses in `execute`, every labeled run in `execute_labeled`) — off
+/// the planners' per-candidate hot paths.
+fn latency_hash(plan: &Plan) -> u64 {
+    plan.canonical_hash()
 }
 
 #[cfg(test)]

@@ -18,6 +18,11 @@
 //!   would hinge on one scheduler-stall-prone measurement), while a
 //!   `3^n`-style enumeration or per-candidate-allocation regression
 //!   drives it toward 1.0 (measured: ~0.15 on a laptop core);
+//! * **inference speed**: beam-20's total planning time must stay at
+//!   or below the DPccp DP's in the same run
+//!   (≤ [`BEAM20_VS_DP_PLAN_RATIO`]) — the learned agent's serving
+//!   path may not regress back to pre-batching/pre-dedup-overhaul
+//!   costs;
 //! * **learning**: every trained model's `final_vs_expert_ratio`
 //!   (validation-selected checkpoint vs the expert DP baseline on
 //!   held-out queries) must stay ≤ [`LEARNED_EXPERT_MAX`] for full runs,
@@ -40,6 +45,15 @@ const PLANNER_BEAM_DP_MAX: f64 = 1.15;
 /// scheduler stalls). Measured ~0.15 on a laptop-class core; the
 /// acceptance bar of "≥5x faster" corresponds to 0.2.
 const DP_VS_SUBMASK_PLAN_RATIO: f64 = 0.35;
+/// Max allowed beam-20 / DPccp `plan_secs_total` ratio on the
+/// 113-query JOB-like workload. Same-run and summed over the workload,
+/// so machine speed, pool contention, and single scheduler stalls all
+/// cancel — like [`DP_VS_SUBMASK_PLAN_RATIO`]. The PR-5 inference
+/// overhaul (dedup-before-score state signatures, batched scoring)
+/// brought beam-20 to at-or-below DP cost (measured ~0.6); a
+/// per-candidate-allocation or per-probe-fingerprint regression drives
+/// this back toward the pre-overhaul ~2.0.
+const BEAM20_VS_DP_PLAN_RATIO: f64 = 1.0;
 /// Max allowed learned / expert held-out ratio for full benchmark runs.
 const LEARNED_EXPERT_MAX: f64 = 1.05;
 /// Max allowed learned / expert ratio in the CI smoke configuration.
@@ -127,6 +141,27 @@ fn main() {
                 }
                 _ => failures
                     .push("BENCH_planner.json: missing dp-bushy/dp-submask plan_secs_total".into()),
+            }
+            let beam_total = number_after(
+                &planner,
+                "\"name\": \"beam20-bushy/expert\"",
+                "plan_secs_total",
+            );
+            match (beam_total, dp_total) {
+                (Some(beam), Some(dp)) if dp > 0.0 => {
+                    let ratio = beam / dp;
+                    println!(
+                        "planner: beam20/dp plan_secs_total ratio {ratio:.4} ({beam:.4}s vs {dp:.4}s, max {BEAM20_VS_DP_PLAN_RATIO})"
+                    );
+                    if ratio > BEAM20_VS_DP_PLAN_RATIO {
+                        failures.push(format!(
+                            "planner inference-path regression: beam20/dp plan_secs_total ratio {ratio:.4} > {BEAM20_VS_DP_PLAN_RATIO}"
+                        ));
+                    }
+                }
+                _ => failures.push(
+                    "BENCH_planner.json: missing beam20-bushy/dp-bushy plan_secs_total".into(),
+                ),
             }
         }
     }

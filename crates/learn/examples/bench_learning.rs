@@ -124,6 +124,7 @@ fn run_model(
         &split.test,
         cfg.mode,
         cfg.beam_width,
+        &balsa_search::WorkerPool::new(cfg.planning_threads),
     );
     let final_test_median = median(&final_test);
     let ratio = final_test_median / expert_test_median;
@@ -231,6 +232,7 @@ fn main() {
         json_f(cfg.timeout_factor)
     );
     let _ = writeln!(out, "    \"sim_random_plans\": {},", cfg.sim_random_plans);
+    let _ = writeln!(out, "    \"planning_threads\": {},", cfg.planning_threads);
     let _ = writeln!(out, "    \"seed\": {}", cfg.seed);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(

@@ -35,7 +35,13 @@ pub struct Experience {
     /// Key of the query this subplan belongs to
     /// (`balsa_engine::query_key`).
     pub query_key: u64,
-    /// Structural fingerprint of the subplan.
+    /// Structural hash of the subplan. The training loop supplies
+    /// [`balsa_query::Plan::canonical_hash`] (the frozen encoding), not
+    /// `Plan::fingerprint`: [`ExperienceBuffer::train_set`] **sorts**
+    /// samples by this key, so its values — not just its equality
+    /// classes — determine SGD minibatch composition, and they must
+    /// stay stable across fingerprint-algorithm changes for recorded
+    /// learning curves to reproduce.
     pub fingerprint: u64,
     /// Feature vector of the `(query, subplan)` state.
     pub features: Vec<f64>,

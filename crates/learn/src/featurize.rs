@@ -326,6 +326,7 @@ impl Featurizer {
                 left,
                 right,
                 mask,
+                ..
             } => (*op, left, right, *mask),
             Plan::Scan { .. } => panic!("flat_join_state on a scan"),
         };

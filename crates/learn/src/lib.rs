@@ -33,8 +33,8 @@ pub mod treeconv;
 pub use buffer::{Experience, ExperienceBuffer, LabelSource};
 pub use featurize::{Featurizer, FlatState};
 pub use model::{
-    FeatureEncoding, FitReport, LinearValueModel, ModelKind, ModelState, ResidualValueModel,
-    SgdConfig, TrainSet, ValueModel,
+    FeatureEncoding, FitReport, JoinStateItem, LinearValueModel, ModelKind, ModelState,
+    ResidualValueModel, SgdConfig, TrainSet, ValueModel,
 };
 pub use scorer::LearnedScorer;
 pub use train::{

@@ -56,6 +56,17 @@ impl ModelKind {
 /// beam's [`balsa_cost::ScoredTree`] child hooks.
 pub type ModelState = Arc<dyn Any + Send + Sync>;
 
+/// One `(node encoding, left state, right state)` item of a batched
+/// join-state composition ([`ValueModel::join_state_batch`]).
+pub struct JoinStateItem<'a> {
+    /// The join node's per-node encoding.
+    pub node_x: &'a [f64],
+    /// The left child's incremental state.
+    pub left: &'a ModelState,
+    /// The right child's incremental state.
+    pub right: &'a ModelState,
+}
+
 /// Minibatch-SGD hyperparameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SgdConfig {
@@ -171,6 +182,33 @@ pub trait ValueModel: Send + Sync {
     fn state_value(&self, state: &ModelState) -> Option<f64> {
         let _ = state;
         None
+    }
+
+    /// Batched form of [`ValueModel::predict`]: one prediction per
+    /// encoded state, in input order. Must be **bit-identical** to
+    /// mapping `predict` over `xs` — overrides may only restructure the
+    /// computation (shared scratch, filters × batch loops), never change
+    /// the per-sample arithmetic.
+    fn predict_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Batched form of [`ValueModel::join_state`]: composes the states
+    /// of all candidate joins of one beam level in a single pass —
+    /// models with dense per-state math (the tree convolution) override
+    /// this to stream each filter row across the whole batch. `None`
+    /// when the model does not support incremental states; otherwise
+    /// one state per item, bit-identical to the per-item calls.
+    fn join_state_batch(&self, items: &[JoinStateItem<'_>]) -> Option<Vec<ModelState>> {
+        items
+            .iter()
+            .map(|it| self.join_state(it.node_x, it.left, it.right))
+            .collect()
+    }
+
+    /// Batched form of [`ValueModel::state_value`], in input order.
+    fn state_value_batch(&self, states: &[ModelState]) -> Option<Vec<f64>> {
+        states.iter().map(|s| self.state_value(s)).collect()
     }
 }
 
@@ -292,6 +330,19 @@ impl ValueModel for LinearValueModel {
         let mut z = Vec::with_capacity(x.len());
         self.standardized(x, &mut z);
         self.raw_predict(&z)
+    }
+
+    /// Linear batching is trivial: one reused standardization buffer,
+    /// per-sample math unchanged (bit-identical to `predict`).
+    fn predict_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        let mut z = Vec::with_capacity(self.w.len());
+        xs.iter()
+            .map(|x| {
+                assert_eq!(x.len(), self.w.len(), "feature length mismatch");
+                self.standardized(x, &mut z);
+                self.raw_predict(&z)
+            })
+            .collect()
     }
 
     fn fit(&mut self, data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
@@ -485,6 +536,66 @@ impl ValueModel for ResidualValueModel {
     fn state_value(&self, state: &ModelState) -> Option<f64> {
         let (b, c) = state.downcast_ref::<(ModelState, ModelState)>()?;
         Some(self.base.state_value(b)? + self.correction.state_value(c)?)
+    }
+
+    /// Routes both halves through their own batched paths; the sum per
+    /// sample matches [`ResidualValueModel::predict`] bit-for-bit.
+    fn predict_batch(&self, xs: &[&[f64]]) -> Vec<f64> {
+        let base = self.base.predict_batch(xs);
+        let corr = self.correction.predict_batch(xs);
+        base.iter().zip(&corr).map(|(b, c)| b + c).collect()
+    }
+
+    fn join_state_batch(&self, items: &[JoinStateItem<'_>]) -> Option<Vec<ModelState>> {
+        let pairs: Option<Vec<_>> = items
+            .iter()
+            .map(|it| {
+                Some((
+                    it.left.downcast_ref::<(ModelState, ModelState)>()?,
+                    it.right.downcast_ref::<(ModelState, ModelState)>()?,
+                ))
+            })
+            .collect();
+        let pairs = pairs?;
+        let base_items: Vec<JoinStateItem<'_>> = items
+            .iter()
+            .zip(&pairs)
+            .map(|(it, (l, r))| JoinStateItem {
+                node_x: it.node_x,
+                left: &l.0,
+                right: &r.0,
+            })
+            .collect();
+        let corr_items: Vec<JoinStateItem<'_>> = items
+            .iter()
+            .zip(&pairs)
+            .map(|(it, (l, r))| JoinStateItem {
+                node_x: it.node_x,
+                left: &l.1,
+                right: &r.1,
+            })
+            .collect();
+        let base = self.base.join_state_batch(&base_items)?;
+        let corr = self.correction.join_state_batch(&corr_items)?;
+        Some(
+            base.into_iter()
+                .zip(corr)
+                .map(|(b, c)| Arc::new((b, c)) as ModelState)
+                .collect(),
+        )
+    }
+
+    fn state_value_batch(&self, states: &[ModelState]) -> Option<Vec<f64>> {
+        let pairs: Option<Vec<_>> = states
+            .iter()
+            .map(|s| s.downcast_ref::<(ModelState, ModelState)>())
+            .collect();
+        let pairs = pairs?;
+        let base_states: Vec<ModelState> = pairs.iter().map(|p| p.0.clone()).collect();
+        let corr_states: Vec<ModelState> = pairs.iter().map(|p| p.1.clone()).collect();
+        let base = self.base.state_value_batch(&base_states)?;
+        let corr = self.correction.state_value_batch(&corr_states)?;
+        Some(base.into_iter().zip(corr).map(|(b, c)| b + c).collect())
     }
 }
 

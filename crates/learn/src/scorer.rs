@@ -25,9 +25,9 @@
 //! the hooks.
 
 use crate::featurize::{Featurizer, FlatState};
-use crate::model::{FeatureEncoding, ValueModel};
+use crate::model::{FeatureEncoding, JoinStateItem, ValueModel};
 use balsa_card::{CardEstimator, MemoEstimator};
-use balsa_cost::{PlanScorer, QueryScorer, ScoredTree, SubtreeCost};
+use balsa_cost::{JoinCandidate, PlanScorer, QueryScorer, ScoredTree, SubtreeCost};
 use balsa_query::{Plan, Query};
 use std::sync::Arc;
 
@@ -173,6 +173,99 @@ impl QueryScorer for LearnedQueryScorer<'_> {
                         self.scored(join, pred, Some(state))
                     }
                     None => self.score_full(join),
+                }
+            }
+        }
+    }
+
+    /// The batched inference hot path: one pass composes every
+    /// candidate's incremental state, then a single batched model call
+    /// produces all predictions — the tree-convolution forward becomes
+    /// a filters × batch matrix product over the stacked per-candidate
+    /// root activations, the linear model a streamed dot-product loop.
+    /// Candidates missing a child state fall back to the from-scratch
+    /// encode in place, so the output order always matches the input
+    /// and every tree is bit-identical to [`QueryScorer::score_join`].
+    fn score_join_batch(&self, cands: &[JoinCandidate<'_>], out: &mut Vec<ScoredTree>) {
+        match self.model.encoding() {
+            FeatureEncoding::Flat => {
+                let states: Vec<Option<FlatState>> = cands
+                    .iter()
+                    .map(|c| {
+                        let (Some(l), Some(r)) = (
+                            c.lc.ext
+                                .as_deref()
+                                .and_then(|e| e.downcast_ref::<FlatState>()),
+                            c.rc.ext
+                                .as_deref()
+                                .and_then(|e| e.downcast_ref::<FlatState>()),
+                        ) else {
+                            return None;
+                        };
+                        Some(
+                            self.featurizer
+                                .flat_join_state(self.query, c.join, l, r, &self.memo),
+                        )
+                    })
+                    .collect();
+                let xs: Vec<&[f64]> = states
+                    .iter()
+                    .filter_map(|s| s.as_ref().map(|s| s.x.as_slice()))
+                    .collect();
+                let preds = self.model.predict_batch(&xs);
+                let mut pi = 0;
+                for (c, st) in cands.iter().zip(states) {
+                    match st {
+                        Some(st) => {
+                            let pred = preds[pi];
+                            pi += 1;
+                            out.push(self.scored(c.join, pred, Some(Arc::new(st))));
+                        }
+                        None => out.push(self.score_full(c.join)),
+                    }
+                }
+            }
+            FeatureEncoding::Tree => {
+                // Composable only when every candidate carries both
+                // child states; otherwise score per candidate (each
+                // call re-checks its own children, so partial batches
+                // still come out bit-identical).
+                let all_ext = cands
+                    .iter()
+                    .all(|c| c.lc.ext.is_some() && c.rc.ext.is_some());
+                if !all_ext {
+                    out.extend(cands.iter().map(|c| self.score_join(c.join, c.lc, c.rc)));
+                    return;
+                }
+                let nxs: Vec<Vec<f64>> = cands
+                    .iter()
+                    .map(|c| {
+                        self.featurizer
+                            .node_features(self.query, c.join, &self.memo)
+                    })
+                    .collect();
+                let items: Vec<JoinStateItem<'_>> = cands
+                    .iter()
+                    .zip(&nxs)
+                    .map(|(c, nx)| JoinStateItem {
+                        node_x: nx,
+                        left: c.lc.ext.as_ref().expect("checked above"),
+                        right: c.rc.ext.as_ref().expect("checked above"),
+                    })
+                    .collect();
+                match self.model.join_state_batch(&items) {
+                    Some(states) => {
+                        let preds = self
+                            .model
+                            .state_value_batch(&states)
+                            .expect("join_state_batch implies state_value_batch");
+                        for ((c, state), pred) in cands.iter().zip(states).zip(preds) {
+                            out.push(self.scored(c.join, pred, Some(state)));
+                        }
+                    }
+                    None => {
+                        out.extend(cands.iter().map(|c| self.score_join(c.join, c.lc, c.rc)));
+                    }
                 }
             }
         }

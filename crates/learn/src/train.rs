@@ -69,10 +69,11 @@ pub struct TrainConfig {
     /// Master seed for weight init, shuffling, sampling, exploration.
     pub seed: u64,
     /// Worker threads for the fine-tuning phase's per-query planning
-    /// and featurization (1 = serial). Per-query exploration RNGs are
-    /// seeded by query id and results merge in split order, so any
-    /// thread count produces bit-identical checkpoints; planning
-    /// wall-clock is charged as the parallel makespan.
+    /// and featurization, and for the per-iteration evaluation sweeps
+    /// (1 = serial). Per-query exploration RNGs are seeded by query id
+    /// and results merge in split order, so any thread count produces
+    /// bit-identical checkpoints; planning wall-clock is charged as the
+    /// parallel makespan.
     pub planning_threads: usize,
 }
 
@@ -171,9 +172,13 @@ fn record_sim_labels(
     let cout = CoutModel;
     for sub in plan.subplans() {
         let label = startup_secs + cout.plan_cost(query, &sub, est) * time_per_work;
+        // `canonical_hash`, not `fingerprint`: the buffer's training-set
+        // ordering sorts on this key, so it must be the frozen encoding
+        // or fingerprint-algorithm changes would permute every SGD
+        // minibatch and invalidate recorded learning curves.
         buffer.record(Experience {
             query_key: qk,
-            fingerprint: sub.fingerprint(),
+            fingerprint: sub.canonical_hash(),
             features: featurizer.featurize_enc(enc, query, &sub, est),
             label_secs: label,
             censored: false,
@@ -208,7 +213,10 @@ pub fn median(xs: &[f64]) -> f64 {
 }
 
 /// Executes greedy learned-value inference for `idxs` on `eval_env`,
-/// returning the per-query latencies.
+/// returning the per-query latencies. Planning runs on `pool` (one
+/// planner per worker, results merged in `idxs` order — bit-identical
+/// to the serial loop since greedy inference consumes no randomness);
+/// execution stays serial so the environment sees a fixed sequence.
 // The argument list is the full evaluation context; a config struct
 // would be rebuilt at every call site for no clarity gain.
 #[allow(clippy::too_many_arguments)]
@@ -222,15 +230,19 @@ pub fn evaluate_learned(
     idxs: &[usize],
     mode: SearchMode,
     beam_width: usize,
+    pool: &WorkerPool,
 ) -> Vec<f64> {
     let scorer = LearnedScorer::new(featurizer, model, est);
-    let planner = BeamPlanner::new(db, &scorer, mode, beam_width);
+    let planned = pool.map_init(
+        idxs,
+        || BeamPlanner::new(db, &scorer, mode, beam_width),
+        |planner, _, &i| planner.plan(&workload.queries[i]),
+    );
     idxs.iter()
-        .map(|&i| {
-            let q = &workload.queries[i];
-            let out = planner.plan(q);
+        .zip(&planned)
+        .map(|(&i, out)| {
             eval_env
-                .execute(q, &out.plan, None)
+                .execute(&workload.queries[i], &out.plan, None)
                 .expect("beam plan must be executable")
                 .latency_secs
         })
@@ -316,6 +328,7 @@ pub fn train_loop(
     env.charge_update(report.steps);
 
     let mut trajectory = Vec::new();
+    let pool = WorkerPool::new(cfg.planning_threads);
     let eval_point = |model: &dyn ValueModel| {
         let test = evaluate_learned(
             db,
@@ -327,6 +340,7 @@ pub fn train_loop(
             &split.test,
             cfg.mode,
             cfg.beam_width,
+            &pool,
         );
         let val = evaluate_learned(
             db,
@@ -338,6 +352,7 @@ pub fn train_loop(
             &split.train,
             cfg.mode,
             cfg.beam_width,
+            &pool,
         );
         (median(&test), median(&val), geo_mean(&val))
     };
@@ -371,7 +386,6 @@ pub fn train_loop(
         make_model(cfg.model, &featurizer),
     ));
     let mut best_lat: HashMap<usize, f64> = HashMap::new();
-    let pool = WorkerPool::new(cfg.planning_threads);
     for iter in 1..=cfg.iterations {
         // Linear epsilon decay: full exploration early, pure greed last.
         let epsilon = if cfg.iterations > 1 {
@@ -430,7 +444,8 @@ pub fn train_loop(
                 .iter()
                 .map(|l| Experience {
                     query_key: qk,
-                    fingerprint: l.plan.fingerprint(),
+                    // Frozen key — see `record_sim_labels`.
+                    fingerprint: l.plan.canonical_hash(),
                     features: featurizer.featurize_enc(enc, q, &l.plan, &memo),
                     label_secs: l.latency_secs,
                     censored: l.censored,

@@ -26,7 +26,8 @@
 //! subtree size — instead of a full re-encode.
 
 use crate::model::{
-    FeatureEncoding, FitReport, ModelState, SgdConfig, TrainSet, ValueModel, LRELU_SLOPE,
+    FeatureEncoding, FitReport, JoinStateItem, ModelState, SgdConfig, TrainSet, ValueModel,
+    LRELU_SLOPE,
 };
 use rand::rngs::SmallRng;
 use rand::{RngExt, SliceRandomExt};
@@ -674,6 +675,127 @@ impl ValueModel for TreeConvValueModel {
         let s = state.downcast_ref::<TcState>()?;
         let h: Vec<f64> = self.head1.pre(&s.pooled).into_iter().map(lrelu).collect();
         Some(self.head2.pre(&h)[0])
+    }
+
+    /// The batched beam forward: instead of N independent `join_state`
+    /// walks, each convolution **filter row streams across a tile of
+    /// candidates** (a tiled filters × batch matrix product over the
+    /// stacked per-candidate window inputs): within a tile the three
+    /// input slices stay resident in L1 while every filter row sweeps
+    /// them, and the weight matrix is small enough to stay cached
+    /// across tiles — the classical GEMM blocking, sized for this
+    /// network's tiny filter banks against beam-level-sized batches.
+    /// Per-candidate arithmetic — `b + wn·x + wl·xl + wr·xr`, dots
+    /// accumulated left to right — is exactly [`ConvLayer::pre`]'s, so
+    /// the composed states are bit-identical to the per-candidate path.
+    // The filters × tile orientation wants plain index loops over
+    // several parallel slice arrays; iterator chains over four zipped
+    // row views would obscure the GEMM blocking.
+    #[allow(clippy::needless_range_loop)]
+    fn join_state_batch(&self, items: &[JoinStateItem<'_>]) -> Option<Vec<ModelState>> {
+        /// Candidates per tile: 3 input slices × ≤ 34 channels × 8 B
+        /// × 32 ≈ 26 KB — sized to L1.
+        const TILE: usize = 32;
+        let n = items.len();
+        let ls: Option<Vec<&TcState>> = items
+            .iter()
+            .map(|it| it.left.downcast_ref::<TcState>())
+            .collect();
+        let rs: Option<Vec<&TcState>> = items
+            .iter()
+            .map(|it| it.right.downcast_ref::<TcState>())
+            .collect();
+        let (ls, rs) = (ls?, rs?);
+        let levels = self.conv.len();
+        let mut acts: Vec<Vec<Vec<f64>>> = items
+            .iter()
+            .map(|it| {
+                assert_eq!(it.node_x.len(), self.node_dim, "node encoding mismatch");
+                let mut v = Vec::with_capacity(levels + 1);
+                v.push(it.node_x.to_vec());
+                v
+            })
+            .collect();
+        for (li, layer) in self.conv.iter().enumerate() {
+            let (in_dim, out_dim) = (layer.in_dim, layer.out_dim);
+            let mut zs: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0; out_dim]).collect();
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + TILE).min(n);
+                // One indirection per candidate per tile, not per
+                // (filter, candidate) pair.
+                let xn: Vec<&[f64]> = (lo..hi).map(|c| acts[c][li].as_slice()).collect();
+                let xl: Vec<&[f64]> = (lo..hi).map(|c| ls[c].acts[li].as_slice()).collect();
+                let xr: Vec<&[f64]> = (lo..hi).map(|c| rs[c].acts[li].as_slice()).collect();
+                for o in 0..out_dim {
+                    let wn_row = &layer.wn[o * in_dim..(o + 1) * in_dim];
+                    let wl_row = &layer.wl[o * in_dim..(o + 1) * in_dim];
+                    let wr_row = &layer.wr[o * in_dim..(o + 1) * in_dim];
+                    let b = layer.b[o];
+                    for cc in 0..hi - lo {
+                        let mut z = b;
+                        z += wn_row.iter().zip(xn[cc]).map(|(w, x)| w * x).sum::<f64>();
+                        z += wl_row.iter().zip(xl[cc]).map(|(w, x)| w * x).sum::<f64>();
+                        z += wr_row.iter().zip(xr[cc]).map(|(w, x)| w * x).sum::<f64>();
+                        zs[lo + cc][o] = z;
+                    }
+                }
+                lo = hi;
+            }
+            for (a, mut z) in acts.iter_mut().zip(zs) {
+                z.iter_mut().for_each(|z| *z = lrelu(*z));
+                a.push(z);
+            }
+        }
+        Some(
+            acts.into_iter()
+                .enumerate()
+                .map(|(c, acts)| {
+                    let top = acts.last().expect("non-empty");
+                    let pooled: Vec<f64> = top
+                        .iter()
+                        .zip(ls[c].pooled.iter().zip(&rs[c].pooled))
+                        .map(|(&h, (&a, &b))| h.max(a.max(b)))
+                        .collect();
+                    Arc::new(TcState { acts, pooled }) as ModelState
+                })
+                .collect(),
+        )
+    }
+
+    /// Batched MLP head over the pooled vectors, filters × batch like
+    /// the convolution stack; bit-identical to per-state `state_value`.
+    #[allow(clippy::needless_range_loop)]
+    fn state_value_batch(&self, states: &[ModelState]) -> Option<Vec<f64>> {
+        let ss: Option<Vec<&TcState>> =
+            states.iter().map(|s| s.downcast_ref::<TcState>()).collect();
+        let ss = ss?;
+        const TILE: usize = 64;
+        let n = ss.len();
+        let hd = self.head1.b.len();
+        let in_dim = self.head1.in_dim;
+        let mut hs: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0; hd]).collect();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + TILE).min(n);
+            let xs: Vec<&[f64]> = (lo..hi).map(|c| ss[c].pooled.as_slice()).collect();
+            for o in 0..hd {
+                let row = &self.head1.w[o * in_dim..(o + 1) * in_dim];
+                let b = self.head1.b[o];
+                for cc in 0..hi - lo {
+                    hs[lo + cc][o] =
+                        lrelu(b + row.iter().zip(xs[cc]).map(|(w, x)| w * x).sum::<f64>());
+                }
+            }
+            lo = hi;
+        }
+        Some(
+            hs.iter()
+                .map(|h| {
+                    self.head2.b[0] + self.head2.w.iter().zip(h).map(|(w, x)| w * x).sum::<f64>()
+                })
+                .collect(),
+        )
     }
 }
 

@@ -193,6 +193,7 @@ fn train_loop_smoke_end_to_end() {
         &split.test,
         cfg.mode,
         cfg.beam_width,
+        &balsa_search::WorkerPool::new(1),
     );
     let expert = evaluate_expert_baseline(&db, &eval_env, &w, &split.test, cfg.mode);
     let (ml, me) = (median(&learned), median(&expert));
@@ -434,6 +435,7 @@ fn tree_conv_train_loop_end_to_end() {
         &split.test,
         cfg.mode,
         cfg.beam_width,
+        &balsa_search::WorkerPool::new(1),
     );
     let expert = evaluate_expert_baseline(&db, &eval_env, &w, &split.test, cfg.mode);
     let (ml, me) = (median(&learned), median(&expert));

@@ -96,6 +96,11 @@ pub enum Plan {
         right: Arc<Plan>,
         /// Cached union of input masks.
         mask: TableMask,
+        /// Cached structural fingerprint ([`Plan::fingerprint`]),
+        /// composed from the children's cached fingerprints at
+        /// construction so reading it is O(1) — the beam's dedup and
+        /// the engine's plan cache probe it on every candidate.
+        fp: u64,
     },
 }
 
@@ -115,11 +120,13 @@ impl Plan {
             left.mask().disjoint(right.mask()),
             "joining overlapping subplans"
         );
+        let fp = join_fingerprint(op, left.fingerprint(), right.fingerprint());
         Arc::new(Plan::Join {
             op,
             left,
             right,
             mask,
+            fp,
         })
     }
 
@@ -310,28 +317,55 @@ impl Plan {
         (h, m, n)
     }
 
-    /// A stable 64-bit structural fingerprint (FNV-1a over a canonical
-    /// encoding). Used for plan caches, visit counts (§5), and experience
-    /// dedup. Stable across runs and Rust versions.
+    /// A stable 64-bit structural fingerprint. Used for in-memory plan
+    /// caches, visit counts (§5), and beam-state signatures — equality
+    /// consumers only. Anything that consumes the hash *values* (the
+    /// engine's latency-noise draws, the experience buffer's sorted
+    /// sample keys) must use [`Plan::canonical_hash`] instead.
+    /// Stable across runs and Rust versions.
+    ///
+    /// The fingerprint is **compositional** — a join's value is an
+    /// FNV-1a fold over its operator tag and its children's
+    /// fingerprints — and cached in the node at construction, so
+    /// reading it is O(1) in the subtree size. Hot paths (the beam's
+    /// per-candidate dedup, the engine's plan-cache probe) call this
+    /// once per candidate, not once per node.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf29ce484222325;
-        const PRIME: u64 = 0x100000001b3;
-        fn mix(h: u64, b: u8) -> u64 {
-            (h ^ b as u64).wrapping_mul(PRIME)
+        match self {
+            Plan::Scan { qt, op } => {
+                let h = fnv_mix(FNV_OFFSET, 0x01);
+                let h = fnv_mix(h, *qt);
+                fnv_mix(h, matches!(op, ScanOp::Index) as u8)
+            }
+            Plan::Join { fp, .. } => *fp,
         }
+    }
+
+    /// A **frozen** structural hash: FNV-1a streamed over the canonical
+    /// pre-order encoding, O(n) in the subtree size. Unlike
+    /// [`Plan::fingerprint`] — whose algorithm may evolve with the
+    /// planner's hot path (it became compositional and cached in PR 5) —
+    /// this encoding is never changed, because its *values* are baked
+    /// into recorded artifacts: the engine's deterministic latency-noise
+    /// draws and the experience buffer's sample ordering both key on it,
+    /// so changing it would re-roll every simulated latency and permute
+    /// every SGD minibatch, invalidating checked-in benchmarks and
+    /// recorded learning curves. Use `fingerprint` for hot-path
+    /// identity; use this for anything whose recorded outputs must be
+    /// reproducible across releases.
+    pub fn canonical_hash(&self) -> u64 {
         fn rec(p: &Plan, mut h: u64) -> u64 {
             match p {
                 Plan::Scan { qt, op } => {
-                    h = mix(h, 0x01);
-                    h = mix(h, *qt);
-                    h = mix(h, matches!(op, ScanOp::Index) as u8);
-                    h
+                    h = fnv_mix(h, 0x01);
+                    h = fnv_mix(h, *qt);
+                    fnv_mix(h, matches!(op, ScanOp::Index) as u8)
                 }
                 Plan::Join {
                     op, left, right, ..
                 } => {
-                    h = mix(h, 0x02);
-                    h = mix(
+                    h = fnv_mix(h, 0x02);
+                    h = fnv_mix(
                         h,
                         match op {
                             JoinOp::Hash => 0,
@@ -340,13 +374,48 @@ impl Plan {
                         },
                     );
                     h = rec(left, h);
-                    h = mix(h, 0x03);
+                    h = fnv_mix(h, 0x03);
                     rec(right, h)
                 }
             }
         }
-        rec(self, OFFSET)
+        rec(self, FNV_OFFSET)
     }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv_mix(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Folds a 64-bit word into the hash, little-endian byte order.
+#[inline]
+fn fnv_mix_u64(mut h: u64, w: u64) -> u64 {
+    for b in w.to_le_bytes() {
+        h = fnv_mix(h, b);
+    }
+    h
+}
+
+/// The compositional join fingerprint: operator tag plus both child
+/// fingerprints, folded FNV-1a style. Child order matters (left/right
+/// are physical roles).
+fn join_fingerprint(op: JoinOp, left_fp: u64, right_fp: u64) -> u64 {
+    let mut h = fnv_mix(FNV_OFFSET, 0x02);
+    h = fnv_mix(
+        h,
+        match op {
+            JoinOp::Hash => 0,
+            JoinOp::Merge => 1,
+            JoinOp::NestLoop => 2,
+        },
+    );
+    h = fnv_mix_u64(h, left_fp);
+    h = fnv_mix(h, 0x03);
+    fnv_mix_u64(h, right_fp)
 }
 
 impl fmt::Display for Plan {

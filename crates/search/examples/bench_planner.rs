@@ -10,9 +10,13 @@
 //! so the reported `sim_clock_secs` totals include search wall-clock
 //! plus execution — the same accounting the learning loop uses. The
 //! report also records the measured parallel speedup
-//! (`plan_secs_total / plan_wall_secs`) and the DP enumeration
-//! breakdown (csg–cmp pairs, Pareto states, candidate cost calls,
-//! enumerate vs cost seconds). Results land in `BENCH_planner.json`
+//! (`plan_secs_total / plan_wall_secs`; suppressed as `null` on a
+//! serial pool, where it is pure noise), the threads actually used,
+//! the DP enumeration breakdown (csg–cmp pairs, Pareto states,
+//! candidate cost calls, enumerate vs cost seconds), and the beam
+//! hot-path breakdown (`score_secs_total` / `dedup_secs_total` —
+//! batched scoring vs signature dedup + state assembly). Results land
+//! in `BENCH_planner.json`
 //! (JSON written by hand — the serde shim does not serialize; see
 //! vendor/README.md).
 //!
@@ -43,6 +47,8 @@ struct PlannerReport {
     candidates: usize,
     enumerate_secs: f64,
     cost_secs: f64,
+    score_secs: f64,
+    dedup_secs: f64,
 }
 
 fn median(sorted: &[f64]) -> f64 {
@@ -93,6 +99,8 @@ fn run_planner<'a>(
         candidates: 0,
         enumerate_secs: 0.0,
         cost_secs: 0.0,
+        score_secs: 0.0,
+        dedup_secs: 0.0,
     };
     let plan_times: Vec<f64> = planned.iter().map(|p| p.planning_secs).collect();
     env.charge_planning_parallel(&plan_times, pool.threads());
@@ -108,6 +116,8 @@ fn run_planner<'a>(
         rep.candidates += out.stats.candidates;
         rep.enumerate_secs += out.stats.enumerate_secs;
         rep.cost_secs += out.stats.cost_secs;
+        rep.score_secs += out.stats.score_secs;
+        rep.dedup_secs += out.stats.dedup_secs;
     }
     rep.sim_clock_secs = env.elapsed_secs();
     eprintln!(
@@ -201,11 +211,15 @@ fn main() {
             "      \"plan_wall_secs\": {},",
             json_f(rep.plan_wall_secs)
         );
-        let _ = writeln!(
-            out,
-            "      \"plan_parallel_speedup\": {},",
+        // With one thread the "speedup" is pure measurement noise
+        // (~0.99x); suppress it rather than invite misreading.
+        let speedup = if pool.threads() > 1 {
             json_f(plan_total / rep.plan_wall_secs.max(1e-12))
-        );
+        } else {
+            "null".into()
+        };
+        let _ = writeln!(out, "      \"plan_parallel_speedup\": {speedup},");
+        let _ = writeln!(out, "      \"planning_threads\": {},", pool.threads());
         let _ = writeln!(out, "      \"pairs_total\": {},", rep.pairs);
         let _ = writeln!(out, "      \"states_total\": {},", rep.states);
         let _ = writeln!(out, "      \"candidates_total\": {},", rep.candidates);
@@ -215,6 +229,16 @@ fn main() {
             json_f(rep.enumerate_secs)
         );
         let _ = writeln!(out, "      \"cost_secs_total\": {},", json_f(rep.cost_secs));
+        let _ = writeln!(
+            out,
+            "      \"score_secs_total\": {},",
+            json_f(rep.score_secs)
+        );
+        let _ = writeln!(
+            out,
+            "      \"dedup_secs_total\": {},",
+            json_f(rep.dedup_secs)
+        );
         let _ = writeln!(
             out,
             "      \"exec_secs_total\": {},",

@@ -21,16 +21,41 @@
 //! kept beam slot is, with probability ε, replaced by a uniformly random
 //! surviving candidate instead of the next-best one — the epsilon-greedy
 //! policy the training loop uses to diversify the plans it executes.
-//! Sampling is deterministic given the seed and query id.
+//! Sampling is deterministic given the seed and query id, and the RNG
+//! stream is consumed only by the slot-filling step, so neither batched
+//! scoring nor parallel expansion perturbs it.
+//!
+//! **The inference hot path.** Each level runs in three phases:
+//!
+//! 1. *Generate + dedup* (serial): candidate joins are enumerated in a
+//!    fixed order; each candidate state's identity is an order-
+//!    independent 64-bit signature — the commutative (wrapping) sum of
+//!    its trees' mixed plan fingerprints, updated incrementally from
+//!    the parent state's signature in O(1) — probed against a
+//!    seen-table reused across levels and queries. No sorted
+//!    fingerprint vectors, no per-candidate allocation, and duplicate
+//!    states are dropped *before* they are scored.
+//! 2. *Score* (batched, optionally parallel): all surviving candidates
+//!    are scored through [`balsa_cost::QueryScorer::score_join_batch`],
+//!    partitioned into contiguous chunks across a [`WorkerPool`]
+//!    ([`BeamPlanner::with_pool`], `BALSA_PLAN_THREADS`). Batch scoring
+//!    is bit-identical to per-candidate scoring by contract, and chunk
+//!    results merge in input order, so any thread count produces
+//!    bit-identical plans.
+//! 3. *Assemble + select* (serial): surviving states are materialized,
+//!    sorted, epsilon-filled, and truncated to the beam width.
 
 use crate::candidates::CandidateSpace;
+use crate::pool::WorkerPool;
 use crate::{PlannedQuery, Planner, SearchMode, SearchStats};
-use balsa_cost::{PlanScorer, ScoredTree};
+use balsa_cost::{JoinCandidate, PlanScorer, ScoredTree};
 use balsa_query::{Plan, Query};
 use balsa_storage::Database;
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,23 +64,86 @@ use std::time::Instant;
 struct Tree {
     plan: Arc<Plan>,
     st: ScoredTree,
+    /// The plan's mixed fingerprint ([`mix_fingerprint`]) — the tree's
+    /// contribution to its state's commutative signature.
+    mix: u64,
+}
+
+impl Tree {
+    fn new(plan: Arc<Plan>, st: ScoredTree) -> Self {
+        let mix = mix_fingerprint(plan.fingerprint());
+        Self { plan, st, mix }
+    }
 }
 
 /// One beam state: a forest of disjoint trees covering all tables.
 #[derive(Clone)]
 struct State {
     trees: Vec<Tree>,
-    /// Sum of tree scores — the beam score (lower is better).
-    total: f64,
+    /// Order-independent dedup signature: the wrapping sum of the
+    /// trees' mixed fingerprints. Joining trees `i` and `j` into `t`
+    /// updates it as `sig - mix_i - mix_j + mix_t` — O(1), no sorting,
+    /// no allocation, same equivalence classes as comparing the sorted
+    /// fingerprint multiset.
+    sig: u64,
 }
 
-impl State {
-    /// Canonical signature for deduplication: sorted tree fingerprints.
-    fn signature(&self) -> Vec<u64> {
-        let mut sig: Vec<u64> = self.trees.iter().map(|t| t.plan.fingerprint()).collect();
-        sig.sort_unstable();
-        sig
+/// SplitMix64 finalizer: decorrelates plan fingerprints before they
+/// enter the commutative signature sum, so structured fingerprint
+/// differences cannot cancel across trees.
+#[inline]
+fn mix_fingerprint(fp: u64) -> u64 {
+    let mut z = fp.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pass-through hasher for the seen-table: signatures are already
+/// SplitMix64-mixed sums, so rehashing them (std's SipHash) would only
+/// burn cycles on the per-candidate hot path.
+#[derive(Default)]
+struct SigHasher(u64);
+
+impl Hasher for SigHasher {
+    fn finish(&self) -> u64 {
+        self.0
     }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-u64 keys; FNV-fold for completeness.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// The dedup seen-table: pre-mixed `u64` signatures, identity-hashed.
+type SeenSet = HashSet<u64, BuildHasherDefault<SigHasher>>;
+
+/// Reusable per-planner scratch: the dedup seen-table, cleared — with
+/// capacity retained — between levels and queries.
+#[derive(Default)]
+struct BeamScratch {
+    seen: SeenSet,
+}
+
+/// One dedup-surviving candidate awaiting its batched score: where it
+/// came from (state index, joined tree slots), the join plan, its
+/// precomputed signature pieces, and the children's scored subtrees.
+struct Pending<'a> {
+    si: usize,
+    i: usize,
+    j: usize,
+    sig: u64,
+    mix: u64,
+    plan: Arc<Plan>,
+    lst: &'a ScoredTree,
+    rst: &'a ScoredTree,
 }
 
 /// Epsilon-greedy beam exploration parameters.
@@ -72,11 +160,14 @@ pub struct BeamPlanner<'a> {
     mode: SearchMode,
     width: usize,
     exploration: Option<Exploration>,
+    pool: WorkerPool,
+    scratch: Mutex<BeamScratch>,
 }
 
 impl<'a> BeamPlanner<'a> {
     /// Creates a beam planner with beam width `width` (≥ 1), ranking
-    /// candidates by `scorer`.
+    /// candidates by `scorer`. Expansion is serial until
+    /// [`BeamPlanner::with_pool`] hands it a worker pool.
     pub fn new(
         db: &'a Database,
         scorer: &'a dyn PlanScorer,
@@ -90,7 +181,19 @@ impl<'a> BeamPlanner<'a> {
             mode,
             width,
             exploration: None,
+            pool: WorkerPool::new(1),
+            scratch: Mutex::new(BeamScratch::default()),
         }
+    }
+
+    /// Partitions each level's candidate scoring across `pool`
+    /// (`BALSA_PLAN_THREADS` via [`WorkerPool::from_env`]) — intra-query
+    /// parallelism for serving a single query. Chunks are contiguous and
+    /// merge in input order, so every thread count yields bit-identical
+    /// plans (tested).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Enables epsilon-greedy exploration: at every level, each kept
@@ -140,6 +243,19 @@ impl Planner for BeamPlanner<'_> {
             .filter(|e| e.epsilon > 0.0)
             .map(|e| SmallRng::seed_from_u64(e.seed ^ ((query.id as u64) << 20) ^ 0xBEA7));
 
+        // Reuse the planner's seen-table when it is free; under
+        // concurrent `plan` calls fall back to a fresh local table so
+        // parallel planning never serializes (as in `DpPlanner`).
+        let mut guard = self.scratch.try_lock();
+        let mut local;
+        let scratch: &mut BeamScratch = match guard {
+            Some(ref mut g) => g,
+            None => {
+                local = BeamScratch::default();
+                &mut local
+            }
+        };
+
         // Scan candidates are state-independent: score them once per table.
         let scan_variants: Vec<Vec<Tree>> = (0..n)
             .map(|qt| {
@@ -148,7 +264,7 @@ impl Planner for BeamPlanner<'_> {
                     .into_iter()
                     .map(|(plan, st)| {
                         stats.candidates += 1;
-                        Tree { plan, st }
+                        Tree::new(plan, st)
                     })
                     .collect()
             })
@@ -164,17 +280,18 @@ impl Planner for BeamPlanner<'_> {
                     .clone()
             })
             .collect();
-        let total = leaves.iter().map(|t| t.st.score).sum();
-        let mut beam = vec![State {
-            trees: leaves,
-            total,
-        }];
+        let sig = leaves.iter().fold(0u64, |acc, t| acc.wrapping_add(t.mix));
+        let mut beam = vec![State { trees: leaves, sig }];
         stats.states += 1;
 
+        let mut plan_buf: Vec<Arc<Plan>> = Vec::new();
         for _level in 0..n.saturating_sub(1) {
-            let mut next: Vec<State> = Vec::new();
-            let mut seen: HashSet<Vec<u64>> = HashSet::new();
-            for state in &beam {
+            // Phase 1: generate candidates in a fixed serial order and
+            // drop duplicate states before they cost a scoring call.
+            let t_gen = Instant::now();
+            scratch.seen.clear();
+            let mut pending: Vec<Pending<'_>> = Vec::new();
+            for (si, state) in beam.iter().enumerate() {
                 let m = state.trees.len();
                 for i in 0..m {
                     for j in 0..m {
@@ -184,54 +301,129 @@ impl Planner for BeamPlanner<'_> {
                         {
                             continue;
                         }
+                        let base_sig = state
+                            .sig
+                            .wrapping_sub(state.trees[i].mix)
+                            .wrapping_sub(state.trees[j].mix);
                         let lvs = self.variants(&scan_variants, &state.trees[i]);
                         let rvs = self.variants(&scan_variants, &state.trees[j]);
                         for lv in lvs {
                             for rv in rvs {
-                                for (plan, st) in space.scored_join_plans(
-                                    &lv.plan, &lv.st, &rv.plan, &rv.st, &*session,
-                                ) {
+                                space.join_plans_into(&lv.plan, &rv.plan, &mut plan_buf);
+                                for plan in plan_buf.drain(..) {
                                     stats.candidates += 1;
-                                    let mut trees: Vec<Tree> = state
-                                        .trees
-                                        .iter()
-                                        .enumerate()
-                                        .filter(|(k, _)| *k != i && *k != j)
-                                        .map(|(_, t)| t.clone())
-                                        .collect();
-                                    let joined = Tree { plan, st };
-                                    let total = trees.iter().map(|t| t.st.score).sum::<f64>()
-                                        + joined.st.score;
-                                    trees.push(joined);
-                                    let cand = State { trees, total };
-                                    if seen.insert(cand.signature()) {
-                                        next.push(cand);
+                                    let mix = mix_fingerprint(plan.fingerprint());
+                                    let sig = base_sig.wrapping_add(mix);
+                                    if !scratch.seen.insert(sig) {
+                                        continue;
                                     }
+                                    pending.push(Pending {
+                                        si,
+                                        i,
+                                        j,
+                                        sig,
+                                        mix,
+                                        plan,
+                                        lst: &lv.st,
+                                        rst: &rv.st,
+                                    });
                                 }
                             }
                         }
                     }
                 }
             }
+            stats.dedup_secs += t_gen.elapsed().as_secs_f64();
+
+            // Phase 2: score all survivors — one batched call per
+            // contiguous chunk, chunks across the pool, merged in input
+            // order (bit-identical for any thread count).
+            let t_score = Instant::now();
+            let ranges = self.pool.chunk_ranges(pending.len());
+            let scored: Vec<Vec<ScoredTree>> = self.pool.map(&ranges, |_, &(lo, hi)| {
+                let cands: Vec<JoinCandidate<'_>> = pending[lo..hi]
+                    .iter()
+                    .map(|p| JoinCandidate {
+                        join: &p.plan,
+                        lc: p.lst,
+                        rc: p.rst,
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(cands.len());
+                session.score_join_batch(&cands, &mut out);
+                out
+            });
+            stats.score_secs += t_score.elapsed().as_secs_f64();
+
+            // Phase 3: rank survivors and materialize only the kept
+            // slots. Totals are summed in the same order a full state
+            // assembly would (remaining trees in position order, then
+            // the joined tree), and ranking goes through a stable index
+            // sort, so selection — ties included — is bit-identical to
+            // sorting fully-built states; but forests are cloned only
+            // for the ≤ `width` states that enter the next level, not
+            // for every survivor.
+            let t_asm = Instant::now();
             assert!(
-                !next.is_empty(),
+                !pending.is_empty(),
                 "beam stuck on {} (disconnected join graph?)",
                 query.name
             );
-            next.sort_by(|a, b| a.total.partial_cmp(&b.total).expect("finite scores"));
+            let scored: Vec<ScoredTree> = scored.into_iter().flatten().collect();
+            let totals: Vec<f64> = pending
+                .iter()
+                .zip(&scored)
+                .map(|(p, st)| {
+                    let state = &beam[p.si];
+                    let mut total = 0.0;
+                    for (k, t) in state.trees.iter().enumerate() {
+                        if k != p.i && k != p.j {
+                            total += t.st.score;
+                        }
+                    }
+                    total + st.score
+                })
+                .collect();
+            let mut order: Vec<u32> = (0..pending.len() as u32).collect();
+            order.sort_by(|&a, &b| {
+                totals[a as usize]
+                    .partial_cmp(&totals[b as usize])
+                    .expect("finite scores")
+            });
+            stats.states += order.len();
             // Epsilon-greedy slot filling: slot s takes the next-best
             // candidate, or — with probability ε — a random survivor.
             if let Some(rng) = rng.as_mut() {
                 let eps = self.exploration.expect("rng implies exploration").epsilon;
-                for slot in 0..self.width.min(next.len()) {
+                for slot in 0..self.width.min(order.len()) {
                     if rng.random_bool(eps) {
-                        let pick = rng.random_range(slot..next.len());
-                        next.swap(slot, pick);
+                        let pick = rng.random_range(slot..order.len());
+                        order.swap(slot, pick);
                     }
                 }
             }
-            next.truncate(self.width);
-            stats.states += next.len();
+            order.truncate(self.width);
+            let mut next: Vec<State> = Vec::with_capacity(order.len());
+            for &ci in &order {
+                let (p, st) = (&pending[ci as usize], &scored[ci as usize]);
+                let state = &beam[p.si];
+                let mut trees: Vec<Tree> = Vec::with_capacity(state.trees.len() - 1);
+                trees.extend(
+                    state
+                        .trees
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != p.i && *k != p.j)
+                        .map(|(_, t)| t.clone()),
+                );
+                trees.push(Tree {
+                    plan: p.plan.clone(),
+                    st: st.clone(),
+                    mix: p.mix,
+                });
+                next.push(State { trees, sig: p.sig });
+            }
+            stats.dedup_secs += t_asm.elapsed().as_secs_f64();
             beam = next;
         }
 
@@ -336,6 +528,45 @@ mod tests {
             .plan(q);
         assert_eq!(greedy.plan.fingerprint(), eps0.plan.fingerprint());
         assert_eq!(greedy.cost, eps0.cost);
+    }
+
+    /// Pins the epsilon-greedy exploration stream: the PR 2 behavior
+    /// policy consumes its RNG only in the slot-filling step (one
+    /// `random_bool` per kept slot, one `random_range` per hit), so
+    /// neither batched scoring nor dedup-before-score nor parallel
+    /// expansion may shift which candidates get explored. If this test
+    /// breaks, previously recorded learning curves are no longer
+    /// reproducible — treat that as a regression, not a re-pin.
+    #[test]
+    fn exploration_stream_is_pinned() {
+        let (db, w) = fixture();
+        let est = HistogramEstimator::new(&db);
+        let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+        let scorer = CostScorer::new(&model, &est);
+        let q = w.queries.iter().find(|q| q.num_tables() >= 7).unwrap();
+        assert_eq!(q.name, "job_17a");
+        let expected = [
+            "NL[Seq(6), NL[Seq(5), NL[NL[NL[Seq(2), NL[Seq(3), Seq(1)]], Seq(4)], Seq(0)]]]",
+            "NL[MJ[NL[Seq(5), HJ[Seq(0), NL[NL[Seq(3), Seq(1)], Seq(2)]]], Seq(6)], Idx(4)]",
+            "MJ[Idx(2), HJ[MJ[Seq(5), Seq(6)], NL[NL[NL[Seq(1), Seq(3)], Seq(4)], Seq(0)]]]",
+            "NL[NL[Seq(5), NL[NL[NL[HJ[Seq(1), Seq(3)], Seq(2)], Seq(4)], Seq(0)]], Idx(6)]",
+        ];
+        for (seed, want) in expected.iter().enumerate() {
+            let out = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5)
+                .with_exploration(0.7, seed as u64)
+                .plan(q);
+            assert_eq!(
+                out.plan.to_string(),
+                *want,
+                "seed {seed}: explored-candidate sequence shifted"
+            );
+            // The pinned sequence holds for any pool width too.
+            let pooled = BeamPlanner::new(&db, &scorer, SearchMode::Bushy, 5)
+                .with_exploration(0.7, seed as u64)
+                .with_pool(WorkerPool::new(4))
+                .plan(q);
+            assert_eq!(pooled.plan.to_string(), *want, "seed {seed} (pooled)");
+        }
     }
 
     #[test]

@@ -72,8 +72,11 @@ impl SearchMode {
 /// Search effort counters reported by a planner run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
-    /// Distinct states retained (DP Pareto entries / beam states).
-    /// Never-populated memo slots (disconnected subsets) do not count.
+    /// Distinct states retained. For the DP: Pareto entries
+    /// (never-populated memo slots for disconnected subsets do not
+    /// count). For the beam: states surviving signature dedup at each
+    /// level, *before* width truncation — the size of the state space
+    /// the beam actually examined, not just the `k` it kept.
     pub states: usize,
     /// Candidate plans generated. In the DP this counts every
     /// (left, right, operator) combination considered — including
@@ -89,6 +92,15 @@ pub struct SearchStats {
     pub enumerate_secs: f64,
     /// Seconds spent in the costing/Pareto inner loop.
     pub cost_secs: f64,
+    /// Seconds the beam spent scoring candidates (the batched
+    /// value-model / cost-model calls; the scoring phase's wall-clock
+    /// makespan when intra-query expansion runs on a pool). 0 for DP,
+    /// whose analogous figure is `cost_secs`.
+    pub score_secs: f64,
+    /// Seconds the beam spent generating candidates, computing state
+    /// signatures, deduplicating against the seen-table, and
+    /// assembling/sorting states. 0 for DP.
+    pub dedup_secs: f64,
 }
 
 /// A planner's answer for one query.

@@ -58,6 +58,28 @@ impl WorkerPool {
         self.map_init(items, || (), |(), i, t| f(i, t))
     }
 
+    /// Splits `len` items into at most [`WorkerPool::threads`]
+    /// contiguous, balanced, non-empty `(start, end)` ranges (empty for
+    /// `len == 0`). This is the deterministic partition for intra-query
+    /// work — concatenating per-range results in range order reproduces
+    /// the serial order for **any** thread count, which is what lets
+    /// the beam's parallel expansion stay bit-identical to serial.
+    pub fn chunk_ranges(&self, len: usize) -> Vec<(usize, usize)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let chunks = self.threads.min(len);
+        let (base, rem) = (len / chunks, len % chunks);
+        let mut out = Vec::with_capacity(chunks);
+        let mut lo = 0;
+        for c in 0..chunks {
+            let hi = lo + base + usize::from(c < rem);
+            out.push((lo, hi));
+            lo = hi;
+        }
+        out
+    }
+
     /// Like [`WorkerPool::map`], but every worker thread first builds a
     /// private state with `init` (once per worker, not per item) and
     /// `f` receives `(&mut state, index, &item)` — the hook for
@@ -181,6 +203,30 @@ mod tests {
         let serial = WorkerPool::new(1).map(&items, f);
         let parallel = WorkerPool::new(5).map(&items, f);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for threads in [1usize, 2, 3, 7, 16] {
+            let pool = WorkerPool::new(threads);
+            assert!(pool.chunk_ranges(0).is_empty());
+            for len in [1usize, 2, 5, 16, 257] {
+                let ranges = pool.chunk_ranges(len);
+                assert!(ranges.len() <= threads && !ranges.is_empty());
+                // Contiguous, ordered, non-empty, covering [0, len).
+                let mut at = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, at);
+                    assert!(hi > lo);
+                    at = hi;
+                }
+                assert_eq!(at, len);
+                // Balanced: sizes differ by at most one.
+                let sizes: Vec<usize> = ranges.iter().map(|&(l, h)| h - l).collect();
+                let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(mx - mn <= 1, "{threads} threads, {len} items: {sizes:?}");
+            }
+        }
     }
 
     #[test]
