@@ -93,7 +93,7 @@ pub struct SubtreeObs {
 
 /// The simulated execution environment of one engine.
 pub struct ExecutionEnv {
-    truth: TrueCards,
+    truth: Arc<TrueCards>,
     profile: EngineProfile,
     cache: Mutex<HashMap<(u64, u64), CachedRun>>,
     clock: Mutex<SimClock>,
@@ -105,8 +105,18 @@ impl ExecutionEnv {
     /// Creates an environment over `db` with the given engine profile and
     /// simulated clock.
     pub fn new(db: Arc<Database>, profile: EngineProfile, clock: SimClock) -> Self {
+        Self::with_truth(Arc::new(TrueCards::new(db)), profile, clock)
+    }
+
+    /// Creates an environment sharing an existing true-cardinality
+    /// oracle. Separate environments (e.g. the training env and the
+    /// frozen-clock evaluation env, or per-model benchmark envs) keep
+    /// independent plan caches and clocks but share the expensive
+    /// materialized-join memo — cardinalities are exact ground truth, so
+    /// sharing never changes an observed latency.
+    pub fn with_truth(truth: Arc<TrueCards>, profile: EngineProfile, clock: SimClock) -> Self {
         Self {
-            truth: TrueCards::new(db),
+            truth,
             profile,
             cache: Mutex::new(HashMap::new()),
             clock: Mutex::new(clock),
@@ -133,6 +143,12 @@ impl ExecutionEnv {
     /// The true-cardinality oracle (usable as a [`balsa_card::CardEstimator`]).
     pub fn truth(&self) -> &TrueCards {
         &self.truth
+    }
+
+    /// A shareable handle to the oracle, for building sibling
+    /// environments via [`ExecutionEnv::with_truth`].
+    pub fn truth_arc(&self) -> Arc<TrueCards> {
+        self.truth.clone()
     }
 
     /// The database being executed against.
@@ -219,6 +235,28 @@ impl ExecutionEnv {
         plan: &Plan,
         timeout_secs: Option<f64>,
     ) -> Result<ExecOutcome, EnvError> {
+        let outcome = self.execute_uncharged(query, plan, timeout_secs)?;
+        // Early termination: only the budget's worth of time elapses.
+        if !outcome.from_cache {
+            self.clock.lock().charge_executions(&[outcome.latency_secs]);
+        }
+        Ok(outcome)
+    }
+
+    /// [`ExecutionEnv::execute`] without the clock charge — the building
+    /// block for running a batch of executions on worker threads and
+    /// then charging the batch's *parallel makespan* in one
+    /// [`ExecutionEnv::charge_execution_batch`] call, the way
+    /// `charge_planning_parallel` accounts a parallel planning phase.
+    /// The caller must charge every non-cached outcome's
+    /// `latency_secs`; cache hits cost no simulated time, as in
+    /// `execute`.
+    pub fn execute_uncharged(
+        &self,
+        query: &Query,
+        plan: &Plan,
+        timeout_secs: Option<f64>,
+    ) -> Result<ExecOutcome, EnvError> {
         self.validate(query, plan)?;
         let key = (query_key(query), plan.fingerprint());
 
@@ -231,7 +269,7 @@ impl ExecutionEnv {
             self.truth.db(),
             query,
             plan,
-            &self.truth,
+            &*self.truth,
             &self.profile.weights,
             None,
         );
@@ -247,9 +285,16 @@ impl ExecutionEnv {
         if !outcome.timed_out {
             self.cache.lock().insert(key, run);
         }
-        // Early termination: only the budget's worth of time elapses.
-        self.clock.lock().charge_executions(&[outcome.latency_secs]);
         Ok(outcome)
+    }
+
+    /// Charges a batch of execution latencies gathered from
+    /// [`ExecutionEnv::execute_uncharged`] runs as one parallel phase:
+    /// the engine's intra-query parallelism spreads the total work, but
+    /// the phase can never finish before its longest run (see
+    /// [`SimClock::charge_executions`]).
+    pub fn charge_execution_batch(&self, latencies: &[f64]) {
+        self.clock.lock().charge_executions(latencies);
     }
 
     /// Executes `plan` like [`ExecutionEnv::execute`] and additionally
@@ -271,10 +316,34 @@ impl ExecutionEnv {
         timeout_secs: Option<f64>,
     ) -> Result<(ExecOutcome, Vec<SubtreeObs>), EnvError> {
         let outcome = self.execute(query, plan, timeout_secs)?;
+        Ok((outcome, self.subtree_labels(query, plan, timeout_secs)))
+    }
+
+    /// [`ExecutionEnv::execute_labeled`] without the clock charge — see
+    /// [`ExecutionEnv::execute_uncharged`] for the batch-charging
+    /// contract.
+    pub fn execute_labeled_uncharged(
+        &self,
+        query: &Query,
+        plan: &Arc<Plan>,
+        timeout_secs: Option<f64>,
+    ) -> Result<(ExecOutcome, Vec<SubtreeObs>), EnvError> {
+        let outcome = self.execute_uncharged(query, plan, timeout_secs)?;
+        Ok((outcome, self.subtree_labels(query, plan, timeout_secs)))
+    }
+
+    /// One observation per subtree of `plan` (post-order, root last),
+    /// timed with the run's noise factor and censored at the budget.
+    fn subtree_labels(
+        &self,
+        query: &Query,
+        plan: &Arc<Plan>,
+        timeout_secs: Option<f64>,
+    ) -> Vec<SubtreeObs> {
         let noise = self.noise_factor((query_key(query), latency_hash(plan)));
         let mut works: Vec<(Arc<Plan>, f64)> = Vec::new();
         self.subtree_works(query, plan, &mut works);
-        let labels = works
+        works
             .into_iter()
             .map(|(sub, work)| {
                 let raw = self.profile.startup_secs + work * self.profile.time_per_work * noise;
@@ -289,8 +358,7 @@ impl ExecutionEnv {
                     censored,
                 }
             })
-            .collect();
-        Ok((outcome, labels))
+            .collect()
     }
 
     /// Total true-cardinality work of every subtree of `plan`, appended
@@ -310,7 +378,7 @@ impl ExecutionEnv {
                 query,
                 *qt as usize,
                 *op,
-                &self.truth,
+                &*self.truth,
                 &self.profile.weights,
             ),
             Plan::Join {
@@ -326,7 +394,7 @@ impl ExecutionEnv {
                     &lc,
                     right,
                     &rc,
-                    &self.truth,
+                    &*self.truth,
                     &self.profile.weights,
                 )
             }

@@ -9,6 +9,16 @@
 //!
 //! It implements [`CardEstimator`], so the engine's latency model and any
 //! cost model can run directly on ground truth.
+//!
+//! **Concurrency.** The oracle is `Sync`: the permanent cardinality memo
+//! and the LRU of materialized intermediates sit behind separate locks,
+//! and no lock is held while joins execute, so first-touch
+//! materializations for different queries proceed in parallel.
+//! Cardinalities are exact and permanent, so concurrent training
+//! executions read the same values in any interleaving; only the
+//! *decomposition route* chosen for a mask (and hence which overflow cap
+//! is hit first on overflow-edge queries) can depend on what the LRU
+//! currently holds, which affects cache efficiency, never cached values.
 
 use crate::exec::{hash_join, scan_base, Intermediate, Overflow, MAX_INTERMEDIATE_ROWS};
 use balsa_card::CardEstimator;
@@ -39,7 +49,6 @@ struct CacheEntry {
 }
 
 struct Caches {
-    cards: HashMap<(u64, TableMask), f64>,
     inters: HashMap<(u64, TableMask), CacheEntry>,
     slots_used: usize,
     tick: u64,
@@ -51,6 +60,10 @@ struct Caches {
 /// Ground-truth cardinalities via actual execution, with caching.
 pub struct TrueCards {
     db: Arc<Database>,
+    /// Permanent cardinality memo — read-mostly, so it gets its own lock
+    /// and the hot `true_card` fast path never contends with the LRU
+    /// bookkeeping below.
+    cards: Mutex<HashMap<(u64, TableMask), f64>>,
     caches: Mutex<Caches>,
 }
 
@@ -59,8 +72,8 @@ impl TrueCards {
     pub fn new(db: Arc<Database>) -> Self {
         Self {
             db,
+            cards: Mutex::new(HashMap::new()),
             caches: Mutex::new(Caches {
-                cards: HashMap::new(),
                 inters: HashMap::new(),
                 slots_used: 0,
                 tick: 0,
@@ -89,7 +102,7 @@ impl TrueCards {
     pub fn true_card(&self, query: &Query, mask: TableMask) -> u64 {
         assert!(!mask.is_empty(), "empty mask");
         let qk = query_key(query);
-        if let Some(&c) = self.caches.lock().cards.get(&(qk, mask)) {
+        if let Some(&c) = self.cards.lock().get(&(qk, mask)) {
             return c as u64;
         }
         match self.materialize(query, qk, mask) {
@@ -164,18 +177,22 @@ impl TrueCards {
             Arc::new(hash_join(&self.db, query, &left, &right)?)
         };
 
+        self.cards.lock().insert((qk, mask), inter.len() as f64);
         let mut c = self.caches.lock();
-        c.cards.insert((qk, mask), inter.len() as f64);
         let slots = inter.slots();
         c.slots_used += slots;
         let tick = c.tick;
-        c.inters.insert(
+        // Under concurrency two workers can race to materialize the same
+        // mask; keep the accounting exact if the insert replaces one.
+        if let Some(old) = c.inters.insert(
             (qk, mask),
             CacheEntry {
                 inter: inter.clone(),
                 stamp: tick,
             },
-        );
+        ) {
+            c.slots_used -= old.inter.slots();
+        }
         // Evict least-recently-used intermediates over budget (never the
         // one just inserted).
         while c.slots_used > INTERMEDIATE_BUDGET_SLOTS && c.inters.len() > 1 {

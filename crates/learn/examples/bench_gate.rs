@@ -27,7 +27,14 @@
 //!   (validation-selected checkpoint vs the expert DP baseline on
 //!   held-out queries) must stay ≤ [`LEARNED_EXPERT_MAX`] for full runs,
 //!   or the looser [`LEARNED_EXPERT_MAX_SMOKE`] for `BALSA_SMOKE` runs
-//!   (tiny scale, 2 iterations — noisier by construction).
+//!   (tiny scale, 2 iterations — noisier by construction);
+//! * **training speed**: the tree-conv batched fit's same-data wall
+//!   (`train_batched_secs`, measured by `bench_learning` against the
+//!   per-sample reference path on the run's own experience population)
+//!   must stay ≤ [`TRAIN_BATCHED_VS_PER_SAMPLE_MAX`] of
+//!   `train_per_sample_secs`. Same-run and same-data, so machine speed
+//!   cancels; a regression that de-batches the conv kernels or bloats
+//!   the batched backprop drives the ratio past 1.
 //!
 //! The JSON is the repo's own hand-rolled format (the serde shim does
 //! not deserialize), so this reads it with a deliberately small
@@ -58,6 +65,10 @@ const BEAM20_VS_DP_PLAN_RATIO: f64 = 1.0;
 const LEARNED_EXPERT_MAX: f64 = 1.05;
 /// Max allowed learned / expert ratio in the CI smoke configuration.
 const LEARNED_EXPERT_MAX_SMOKE: f64 = 1.60;
+/// Max allowed batched / per-sample tree-conv training-wall ratio —
+/// the batched path must never be slower than the reference it
+/// replaces (measured ~0.3–0.5 at the default batch of 64).
+const TRAIN_BATCHED_VS_PER_SAMPLE_MAX: f64 = 1.0;
 
 /// Finds `"key": <value>` at or after `anchor` (the first occurrence of
 /// `anchor` in `text`) and parses the value token.
@@ -194,6 +205,30 @@ fn main() {
             }
             if checked == 0 {
                 failures.push("BENCH_learning.json: no model entries found".into());
+            }
+            // Batched-vs-per-sample training gate: only the tree-conv
+            // model has a distinct batched path, and only when that
+            // model ran in this benchmark invocation.
+            let tc_anchor = "\"model\": \"tree_conv\"";
+            if learning.contains(tc_anchor) {
+                let batched = number_after(&learning, tc_anchor, "train_batched_secs");
+                let per_sample = number_after(&learning, tc_anchor, "train_per_sample_secs");
+                match (batched, per_sample) {
+                    (Some(b), Some(p)) if p > 0.0 => {
+                        let ratio = b / p;
+                        println!(
+                            "learning[tree_conv]: batched/per-sample training wall ratio {ratio:.4} ({b:.4}s vs {p:.4}s, max {TRAIN_BATCHED_VS_PER_SAMPLE_MAX})"
+                        );
+                        if ratio > TRAIN_BATCHED_VS_PER_SAMPLE_MAX {
+                            failures.push(format!(
+                                "training-speed regression: batched/per-sample wall ratio {ratio:.4} > {TRAIN_BATCHED_VS_PER_SAMPLE_MAX}"
+                            ));
+                        }
+                    }
+                    _ => failures.push(
+                        "BENCH_learning.json: tree_conv entry lacks train_batched_secs/train_per_sample_secs".into(),
+                    ),
+                }
             }
         }
     }

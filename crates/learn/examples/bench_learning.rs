@@ -13,9 +13,13 @@
 //! * `models[]` — one entry per trained model variant, each with
 //!   `final_test_median_secs` / `final_vs_expert_ratio` (the held-out
 //!   median of the **validation-selected checkpoint**; ratio ≤ 1.0 means
-//!   the learned value model matches or beats the expert) and the full
-//!   per-iteration trajectory (`sim_hours`, train/test medians,
-//!   timeouts, buffer sizes, fit MSE).
+//!   the learned value model matches or beats the expert), a per-phase
+//!   training breakdown (`forward_secs` / `backward_secs` /
+//!   `featurize_secs` / `truecard_secs`), for the tree-conv variant a
+//!   same-data timing of the batched fit against the per-sample
+//!   reference path (`train_batched_secs` / `train_per_sample_secs` —
+//!   gated by `bench_gate`), and the full per-iteration trajectory
+//!   (`sim_hours`, train/test medians, timeouts, buffer sizes, fit mse).
 //!
 //! Run with: `cargo run --release -p balsa-learn --example bench_learning`
 //!
@@ -23,17 +27,23 @@
 //!   iterations).
 //! * `BALSA_MODEL=linear|tree_conv|both` — which value model(s) to
 //!   train (default `both`).
+//! * `BALSA_OPTIMIZER=sgd|momentum|adam` — override the per-family
+//!   default update rule (tree-conv defaults to Adam, linear to plain
+//!   SGD).
 
 use balsa_card::HistogramEstimator;
-use balsa_engine::ExecutionEnv;
+use balsa_engine::{ExecutionEnv, SimClock};
 use balsa_learn::{
     evaluate_expert_baseline, evaluate_learned, median, train_loop, Featurizer, IterationStats,
-    ModelKind, SgdConfig, TrainConfig,
+    LabelSource, ModelKind, OptimizerKind, SgdConfig, TrainBreakdown, TrainConfig, TreeConvConfig,
+    TreeConvValueModel, ValueModel,
 };
 use balsa_query::workloads::job_workload;
 use balsa_query::Split;
-use balsa_search::SearchMode;
+use balsa_search::{SearchMode, WorkerPool};
 use balsa_storage::{mini_imdb, DataGenConfig, Database};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -46,21 +56,38 @@ fn json_f(x: f64) -> String {
     }
 }
 
+fn json_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => json_f(v),
+        None => "null".into(),
+    }
+}
+
 /// One model variant's results.
 struct ModelRun {
     kind: ModelKind,
+    optimizer: OptimizerKind,
+    train_batch_size: usize,
     final_test_median: f64,
     ratio: f64,
     wall_secs: f64,
+    breakdown: TrainBreakdown,
+    /// Same-data wall of the batched fit vs the per-sample reference
+    /// (tree-conv only — the linear model has no separate batched path).
+    train_batched_secs: Option<f64>,
+    train_per_sample_secs: Option<f64>,
     trajectory: Vec<IterationStats>,
 }
 
+// Like `evaluate_learned`, the argument list is the full run context.
+#[allow(clippy::too_many_arguments)]
 fn run_model(
     kind: ModelKind,
     db: &Arc<Database>,
     w: &balsa_query::Workload,
     split: &Split,
     cfg: &TrainConfig,
+    opt_override: Option<OptimizerKind>,
     baseline_env: &ExecutionEnv,
     expert_test_median: f64,
 ) -> ModelRun {
@@ -69,31 +96,64 @@ fn run_model(
         model: kind,
         ..cfg.clone()
     };
-    // The non-convex tree-conv net wants momentum, a gentler step than
-    // the convex linear fit, and a longer fine-tuning schedule (its
-    // inductive bias starts further from the `C_out` policy, and more
-    // iterations give validation selection more checkpoints).
+    // Per-family update rule: the non-convex tree-conv net wants Adam's
+    // per-parameter scaling; the convex linear fit is happy with plain
+    // SGD.
+    let optimizer = opt_override.unwrap_or(match kind {
+        ModelKind::Linear => OptimizerKind::Sgd,
+        ModelKind::TreeConv => OptimizerKind::Adam,
+    });
+    // The tree-conv net also wants a gentler step than the convex
+    // linear fit and a longer fine-tuning schedule (its inductive bias
+    // starts further from the `C_out` policy, and more iterations give
+    // validation selection more checkpoints).
     let cfg = match kind {
-        ModelKind::Linear => cfg,
-        ModelKind::TreeConv => TrainConfig {
-            iterations: cfg.iterations + cfg.iterations / 2,
+        ModelKind::Linear => TrainConfig {
             pretrain_sgd: SgdConfig {
-                momentum: 0.9,
-                lr: 0.01,
+                optimizer,
                 ..cfg.pretrain_sgd
             },
             finetune_sgd: SgdConfig {
-                momentum: 0.9,
-                lr: 0.005,
-                epochs: cfg.finetune_sgd.epochs + cfg.finetune_sgd.epochs / 2,
+                optimizer,
                 ..cfg.finetune_sgd
             },
             ..cfg
         },
+        ModelKind::TreeConv => {
+            let (pre_lr, fine_lr) = match optimizer {
+                // Adam's moment normalization makes its usable step
+                // size nearly problem-independent.
+                OptimizerKind::Adam => (0.002, 0.001),
+                _ => (0.01, 0.005),
+            };
+            TrainConfig {
+                iterations: cfg.iterations + cfg.iterations / 2,
+                pretrain_sgd: SgdConfig {
+                    optimizer,
+                    momentum: 0.9,
+                    lr: pre_lr,
+                    ..cfg.pretrain_sgd
+                },
+                finetune_sgd: SgdConfig {
+                    optimizer,
+                    momentum: 0.9,
+                    lr: fine_lr,
+                    epochs: cfg.finetune_sgd.epochs + cfg.finetune_sgd.epochs / 2,
+                    ..cfg.finetune_sgd
+                },
+                ..cfg
+            }
+        }
     };
-    // Each variant trains on its own environment so neither inherits the
-    // other's plan cache or clock.
-    let env = ExecutionEnv::postgres_sim(db.clone());
+    // Each variant trains on its own environment so neither inherits
+    // the other's plan cache or clock; the true-cardinality oracle is
+    // exact ground truth, so sharing it across variants only avoids
+    // re-materializing the same joins.
+    let env = ExecutionEnv::with_truth(
+        baseline_env.truth_arc(),
+        *baseline_env.profile(),
+        SimClock::paper_default(),
+    );
     let outcome = train_loop(db, &env, w, &split.clone(), &cfg);
     for it in &outcome.trajectory {
         eprintln!(
@@ -124,7 +184,7 @@ fn run_model(
         &split.test,
         cfg.mode,
         cfg.beam_width,
-        &balsa_search::WorkerPool::new(cfg.planning_threads),
+        &WorkerPool::new(cfg.planning_threads),
     );
     let final_test_median = median(&final_test);
     let ratio = final_test_median / expert_test_median;
@@ -135,11 +195,46 @@ fn run_model(
         expert_test_median,
         ratio
     );
+    // Batched-vs-per-sample training wall on this run's own real
+    // experience population: two fresh models, same seed and schedule,
+    // one through the batched kernels and one through the per-sample
+    // reference path. Identical arithmetic at batch 1 is covered by
+    // unit tests; here the two layouts race on real data.
+    let (train_batched_secs, train_per_sample_secs) = if kind == ModelKind::TreeConv {
+        let fit_cfg = cfg.finetune_sgd;
+        let bench_fit = |per_sample: bool| {
+            let data = outcome.buffer.train_set(LabelSource::Real);
+            let mut m = TreeConvValueModel::new(featurizer.node_dim(), TreeConvConfig::default());
+            let mut rng = SmallRng::seed_from_u64(cfg.seed);
+            let t0 = Instant::now();
+            if per_sample {
+                m.fit_per_sample(data, &fit_cfg, &mut rng);
+            } else {
+                m.fit(data, &fit_cfg, &mut rng);
+            }
+            t0.elapsed().as_secs_f64()
+        };
+        let batched = bench_fit(false);
+        let per_sample = bench_fit(true);
+        eprintln!(
+            "[{}] fine-tune fit wall: batched {batched:.2}s vs per-sample {per_sample:.2}s ({:.2}x)",
+            kind.as_str(),
+            per_sample / batched.max(1e-12)
+        );
+        (Some(batched), Some(per_sample))
+    } else {
+        (None, None)
+    };
     ModelRun {
         kind,
+        optimizer,
+        train_batch_size: cfg.finetune_sgd.batch,
         final_test_median,
         ratio,
         wall_secs: t.elapsed().as_secs_f64(),
+        breakdown: outcome.breakdown,
+        train_batched_secs,
+        train_per_sample_secs,
         trajectory: outcome.trajectory,
     }
 }
@@ -153,6 +248,13 @@ fn main() {
         Ok("both") | Err(_) => vec![ModelKind::Linear, ModelKind::TreeConv],
         Ok(other) => panic!("unknown BALSA_MODEL {other:?} (linear|tree_conv|both)"),
     };
+    let opt_override: Option<OptimizerKind> = match std::env::var("BALSA_OPTIMIZER") {
+        Ok(s) => Some(
+            OptimizerKind::parse(&s)
+                .unwrap_or_else(|| panic!("unknown BALSA_OPTIMIZER {s:?} (sgd|momentum|adam)")),
+        ),
+        Err(_) => None,
+    };
     let scale = if smoke { 0.05 } else { 1.0 };
     let db = Arc::new(mini_imdb(DataGenConfig {
         scale,
@@ -160,10 +262,12 @@ fn main() {
     }));
     let w = job_workload(db.catalog(), 7);
     let split = Split::random(w.queries.len(), 19, 42);
-    // The fine-tuning planning/featurization phase runs on the worker
-    // pool (`BALSA_PLAN_THREADS`, default = available parallelism);
-    // checkpoints are bit-identical to the serial run by construction.
+    // Fine-tuning planning/featurization and the execution batches both
+    // run on worker pools (`BALSA_PLAN_THREADS`, default = available
+    // parallelism); checkpoints are bit-identical to the serial run by
+    // construction.
     let planning_threads = balsa_search::pool::env_threads();
+    let training_threads = planning_threads;
     let cfg = if smoke {
         TrainConfig {
             beam_width: 5,
@@ -178,11 +282,13 @@ fn main() {
                 ..SgdConfig::default()
             },
             planning_threads,
+            training_threads,
             ..TrainConfig::default()
         }
     } else {
         TrainConfig {
             planning_threads,
+            training_threads,
             ..TrainConfig::default()
         }
     };
@@ -191,8 +297,23 @@ fn main() {
     // (latencies are deterministic per (query, plan), so sharing it
     // across variants changes nothing but keeps the cache warm).
     let baseline_env = ExecutionEnv::postgres_sim(db.clone());
-    let expert_test = evaluate_expert_baseline(&db, &baseline_env, &w, &split.test, cfg.mode);
-    let expert_train = evaluate_expert_baseline(&db, &baseline_env, &w, &split.train, cfg.mode);
+    let baseline_pool = WorkerPool::new(planning_threads);
+    let expert_test = evaluate_expert_baseline(
+        &db,
+        &baseline_env,
+        &w,
+        &split.test,
+        cfg.mode,
+        &baseline_pool,
+    );
+    let expert_train = evaluate_expert_baseline(
+        &db,
+        &baseline_env,
+        &w,
+        &split.train,
+        cfg.mode,
+        &baseline_pool,
+    );
     let expert_test_median = median(&expert_test);
     eprintln!(
         "expert baseline: test median {:.4}s over {} held-out queries",
@@ -202,7 +323,18 @@ fn main() {
 
     let runs: Vec<ModelRun> = kinds
         .iter()
-        .map(|&k| run_model(k, &db, &w, &split, &cfg, &baseline_env, expert_test_median))
+        .map(|&k| {
+            run_model(
+                k,
+                &db,
+                &w,
+                &split,
+                &cfg,
+                opt_override,
+                &baseline_env,
+                expert_test_median,
+            )
+        })
         .collect();
 
     // Hand-rolled JSON.
@@ -233,6 +365,7 @@ fn main() {
     );
     let _ = writeln!(out, "    \"sim_random_plans\": {},", cfg.sim_random_plans);
     let _ = writeln!(out, "    \"planning_threads\": {},", cfg.planning_threads);
+    let _ = writeln!(out, "    \"training_threads\": {},", cfg.training_threads);
     let _ = writeln!(out, "    \"seed\": {}", cfg.seed);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(
@@ -254,6 +387,8 @@ fn main() {
     for (mi, run) in runs.iter().enumerate() {
         let _ = writeln!(out, "    {{");
         let _ = writeln!(out, "      \"model\": \"{}\",", run.kind.as_str());
+        let _ = writeln!(out, "      \"optimizer\": \"{}\",", run.optimizer.as_str());
+        let _ = writeln!(out, "      \"train_batch_size\": {},", run.train_batch_size);
         let _ = writeln!(
             out,
             "      \"final_test_median_secs\": {},",
@@ -265,6 +400,36 @@ fn main() {
             json_f(run.ratio)
         );
         let _ = writeln!(out, "      \"wall_secs\": {},", json_f(run.wall_secs));
+        let b = &run.breakdown;
+        let _ = writeln!(out, "      \"forward_secs\": {},", json_f(b.forward_secs));
+        let _ = writeln!(out, "      \"backward_secs\": {},", json_f(b.backward_secs));
+        let _ = writeln!(
+            out,
+            "      \"featurize_secs\": {},",
+            json_f(b.featurize_secs)
+        );
+        let _ = writeln!(out, "      \"truecard_secs\": {},", json_f(b.truecard_secs));
+        // Same suppression rule as `bench_planner`'s
+        // `plan_parallel_speedup`: serial runs report null.
+        let _ = writeln!(
+            out,
+            "      \"truecard_parallel_speedup\": {},",
+            json_opt(balsa_search::parallel_speedup(
+                b.truecard_job_secs,
+                b.truecard_secs,
+                cfg.training_threads,
+            ))
+        );
+        let _ = writeln!(
+            out,
+            "      \"train_batched_secs\": {},",
+            json_opt(run.train_batched_secs)
+        );
+        let _ = writeln!(
+            out,
+            "      \"train_per_sample_secs\": {},",
+            json_opt(run.train_per_sample_secs)
+        );
         out.push_str("      \"iterations\": [\n");
         for (i, it) in run.trajectory.iter().enumerate() {
             let _ = writeln!(out, "        {{");

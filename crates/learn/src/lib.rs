@@ -33,12 +33,12 @@ pub mod treeconv;
 pub use buffer::{Experience, ExperienceBuffer, LabelSource};
 pub use featurize::{Featurizer, FlatState};
 pub use model::{
-    FeatureEncoding, FitReport, JoinStateItem, LinearValueModel, ModelKind, ModelState,
-    ResidualValueModel, SgdConfig, TrainSet, ValueModel,
+    shuffle_epoch_order, FeatureEncoding, FitReport, JoinStateItem, LinearValueModel, ModelKind,
+    ModelState, Optimizer, OptimizerKind, ResidualValueModel, SgdConfig, TrainSet, ValueModel,
 };
 pub use scorer::LearnedScorer;
 pub use train::{
     evaluate_expert_baseline, evaluate_learned, geo_mean, make_model, median, train_loop,
-    IterationStats, TrainConfig, TrainOutcome,
+    IterationStats, TrainBreakdown, TrainConfig, TrainOutcome,
 };
 pub use treeconv::{TreeConvConfig, TreeConvValueModel};

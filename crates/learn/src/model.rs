@@ -67,6 +67,43 @@ pub struct JoinStateItem<'a> {
     pub right: &'a ModelState,
 }
 
+/// Which per-parameter update rule the minibatch gradients feed
+/// (`BALSA_OPTIMIZER=sgd|momentum|adam` in the benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// Plain SGD: `p -= lr · (g + l2·mask·p)` (momentum forced to 0).
+    Sgd,
+    /// Classical momentum on the updates, using [`SgdConfig::momentum`].
+    /// With `momentum = 0` this is exactly [`OptimizerKind::Sgd`].
+    Momentum,
+    /// Adam: bias-corrected first/second moments give per-parameter
+    /// step scaling — the paper trains its value network with Adam, and
+    /// the non-convex tree-conv loss wants it (flat pooled channels and
+    /// rarely-active censored samples get tiny raw gradients).
+    Adam,
+}
+
+impl OptimizerKind {
+    /// Stable name used in benchmark JSON and CLI flags.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OptimizerKind::Sgd => "sgd",
+            OptimizerKind::Momentum => "momentum",
+            OptimizerKind::Adam => "adam",
+        }
+    }
+
+    /// Parses a CLI/env flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sgd" => Some(OptimizerKind::Sgd),
+            "momentum" => Some(OptimizerKind::Momentum),
+            "adam" => Some(OptimizerKind::Adam),
+            _ => None,
+        }
+    }
+}
+
 /// Minibatch-SGD hyperparameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SgdConfig {
@@ -80,7 +117,16 @@ pub struct SgdConfig {
     pub l2: f64,
     /// Classical momentum on the parameter updates (0 disables; the
     /// tree-convolution net wants ~0.9, the convex linear fit none).
+    /// Read only by [`OptimizerKind::Momentum`].
     pub momentum: f64,
+    /// Update rule the per-minibatch mean gradient feeds.
+    pub optimizer: OptimizerKind,
+    /// Adam first-moment decay.
+    pub beta1: f64,
+    /// Adam second-moment decay.
+    pub beta2: f64,
+    /// Adam denominator fuzz.
+    pub adam_eps: f64,
 }
 
 impl Default for SgdConfig {
@@ -91,8 +137,92 @@ impl Default for SgdConfig {
             lr: 0.03,
             l2: 1e-4,
             momentum: 0.0,
+            optimizer: OptimizerKind::Momentum,
+            beta1: 0.9,
+            beta2: 0.999,
+            adam_eps: 1e-8,
         }
     }
+}
+
+/// Per-parameter optimizer state shared by every value-model fit; one
+/// [`Optimizer::step`] per minibatch applies the configured update rule
+/// to the flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    /// Momentum velocity (momentum/sgd kinds).
+    vel: Vec<f64>,
+    /// Adam first and second moments.
+    m: Vec<f64>,
+    v: Vec<f64>,
+    /// Adam step counter (advances only on applied steps, so empty
+    /// minibatches never skew the bias correction).
+    t: i32,
+}
+
+impl Optimizer {
+    /// Fresh state for `dim` parameters under `cfg`'s update rule.
+    pub fn new(cfg: &SgdConfig, dim: usize) -> Self {
+        let adam = cfg.optimizer == OptimizerKind::Adam;
+        Self {
+            kind: cfg.optimizer,
+            vel: if adam { Vec::new() } else { vec![0.0; dim] },
+            m: if adam { vec![0.0; dim] } else { Vec::new() },
+            v: if adam { vec![0.0; dim] } else { Vec::new() },
+            t: 0,
+        }
+    }
+
+    /// Applies one minibatch update. `grad` is the batch-**mean**
+    /// gradient; `mask[j] = 1.0` marks weights (L2-penalized), `0.0`
+    /// biases. The momentum path reproduces the historical inline
+    /// update (`v = mom·v + g + l2·mask·p; p -= lr·v`) bit-for-bit;
+    /// Adam folds the same masked L2 term into the gradient before the
+    /// moment updates (classical, not decoupled, weight decay).
+    pub fn step(&mut self, cfg: &SgdConfig, params: &mut [f64], grad: &[f64], mask: &[f64]) {
+        debug_assert_eq!(params.len(), grad.len());
+        debug_assert_eq!(params.len(), mask.len());
+        match self.kind {
+            OptimizerKind::Sgd | OptimizerKind::Momentum => {
+                let mom = if self.kind == OptimizerKind::Sgd {
+                    0.0
+                } else {
+                    cfg.momentum
+                };
+                for (((p, g), m), v) in params.iter_mut().zip(grad).zip(mask).zip(&mut self.vel) {
+                    *v = mom * *v + g + cfg.l2 * m * *p;
+                    *p -= cfg.lr * *v;
+                }
+            }
+            OptimizerKind::Adam => {
+                self.t += 1;
+                let bc1 = 1.0 - cfg.beta1.powi(self.t);
+                let bc2 = 1.0 - cfg.beta2.powi(self.t);
+                for (((p, g), msk), (m, v)) in params
+                    .iter_mut()
+                    .zip(grad)
+                    .zip(mask)
+                    .zip(self.m.iter_mut().zip(&mut self.v))
+                {
+                    let g = g + cfg.l2 * msk * *p;
+                    *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+                    *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * (g * g);
+                    *p -= cfg.lr * (*m / bc1) / ((*v / bc2).sqrt() + cfg.adam_eps);
+                }
+            }
+        }
+    }
+}
+
+/// Advances the minibatch sampler by one epoch: shuffles the running
+/// visit order in place. Every fit — linear or tree-conv, batched or
+/// per-sample — draws its epoch orders through this one function, so
+/// the sampler RNG stream is a single pinned contract (covered by a
+/// pinned-stream test) and the batched/per-sample paths consume `rng`
+/// identically by construction.
+pub fn shuffle_epoch_order(order: &mut [usize], rng: &mut SmallRng) {
+    order.shuffle(rng);
 }
 
 /// A training set in feature space. `ys` are log-latencies; a `true` in
@@ -120,13 +250,18 @@ impl TrainSet {
 }
 
 /// What one [`ValueModel::fit`] call did.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct FitReport {
     /// SGD steps performed (for `SimClock::charge_update`).
     pub steps: u64,
     /// Mean squared error (censored samples via one-sided hinge) over
     /// the training set after fitting.
     pub mse: f64,
+    /// Measured wall seconds in the forward passes (0 for models whose
+    /// fit does not separate the phases, e.g. the linear regressor).
+    pub forward_secs: f64,
+    /// Measured wall seconds in backprop + parameter updates.
+    pub backward_secs: f64,
 }
 
 /// Predicts a scalar value (log latency) from an encoded state.
@@ -149,6 +284,16 @@ pub trait ValueModel: Send + Sync {
     /// yields an owned set), continuing from the current parameters
     /// (fine-tuning when called repeatedly).
     fn fit(&mut self, data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport;
+
+    /// Reference per-sample fit: the same samples, sampler stream, and
+    /// update arithmetic as [`ValueModel::fit`] with any batched
+    /// training kernels bypassed. Models without a distinct batched
+    /// path just forward to `fit`; the benchmark's
+    /// batched-vs-per-sample training gate times the two against each
+    /// other.
+    fn fit_per_sample(&mut self, data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
+        self.fit(data, cfg, rng)
+    }
 
     /// All parameters as one flat vector — the serialization-ready
     /// checkpoint form, and the exact-equality witness the determinism
@@ -349,7 +494,7 @@ impl ValueModel for LinearValueModel {
         assert_eq!(data.xs.len(), data.ys.len());
         assert_eq!(data.censored.len(), data.ys.len());
         if data.is_empty() {
-            return FitReport { steps: 0, mse: 0.0 };
+            return FitReport::default();
         }
         let dim = self.w.len();
         let n = data.len();
@@ -385,18 +530,28 @@ impl ValueModel for LinearValueModel {
             })
             .collect();
 
+        // Flat parameter vector `[w…, b]` through the shared optimizer;
+        // the weight-only L2 mask zeroes decay on the bias exactly as
+        // the historical inline update did.
+        let mut params: Vec<f64> = self.w.iter().copied().chain([self.b]).collect();
+        let mut mask = vec![1.0; dim + 1];
+        mask[dim] = 0.0;
+        let mut opt = Optimizer::new(cfg, dim + 1);
         let mut order: Vec<usize> = (0..n).collect();
-        let mut grad = vec![0.0; dim];
-        let mut vel = vec![0.0; dim + 1];
+        let mut grad = vec![0.0; dim + 1];
         let mut steps = 0u64;
         for _epoch in 0..cfg.epochs {
-            order.shuffle(rng);
+            shuffle_epoch_order(&mut order, rng);
             for chunk in order.chunks(cfg.batch.max(1)) {
                 grad.iter_mut().for_each(|g| *g = 0.0);
-                let mut gb = 0.0;
                 let mut active = 0usize;
                 for &i in chunk {
-                    let pred = self.raw_predict(&zs[i]);
+                    let pred = params[..dim]
+                        .iter()
+                        .zip(&zs[i])
+                        .map(|(w, z)| w * z)
+                        .sum::<f64>()
+                        + params[dim];
                     let resid = pred - data.ys[i];
                     // Censored lower bound: no penalty once we predict
                     // at or above it.
@@ -407,21 +562,18 @@ impl ValueModel for LinearValueModel {
                     for (g, z) in grad.iter_mut().zip(&zs[i]) {
                         *g += resid * z;
                     }
-                    gb += resid;
+                    grad[dim] += resid;
                 }
                 if active > 0 {
                     let inv = 1.0 / active as f64;
-                    for ((w, g), v) in self.w.iter_mut().zip(&grad).zip(&mut vel) {
-                        *v = cfg.momentum * *v + g * inv + cfg.l2 * *w;
-                        *w -= cfg.lr * *v;
-                    }
-                    let vb = &mut vel[dim];
-                    *vb = cfg.momentum * *vb + gb * inv;
-                    self.b -= cfg.lr * *vb;
+                    grad.iter_mut().for_each(|g| *g *= inv);
+                    opt.step(cfg, &mut params, &grad, &mask);
                 }
                 steps += 1;
             }
         }
+        self.w.copy_from_slice(&params[..dim]);
+        self.b = params[dim];
 
         let mse = zs
             .iter()
@@ -436,7 +588,11 @@ impl ValueModel for LinearValueModel {
             })
             .sum::<f64>()
             / n as f64;
-        FitReport { steps, mse }
+        FitReport {
+            steps,
+            mse,
+            ..FitReport::default()
+        }
     }
 }
 
@@ -499,6 +655,20 @@ impl ValueModel for ResidualValueModel {
             *y -= self.base.predict(x);
         }
         self.correction.fit(data, cfg, rng)
+    }
+
+    /// Same residual-label adjustment, correction trained through its
+    /// per-sample reference path.
+    fn fit_per_sample(
+        &mut self,
+        mut data: TrainSet,
+        cfg: &SgdConfig,
+        rng: &mut SmallRng,
+    ) -> FitReport {
+        for (x, y) in data.xs.iter().zip(data.ys.iter_mut()) {
+            *y -= self.base.predict(x);
+        }
+        self.correction.fit_per_sample(data, cfg, rng)
     }
 
     fn params(&self) -> Vec<f64> {

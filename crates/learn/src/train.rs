@@ -39,6 +39,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Hyperparameters of [`train_loop`].
 #[derive(Debug, Clone)]
@@ -75,6 +76,14 @@ pub struct TrainConfig {
     /// bit-identical checkpoints; planning wall-clock is charged as the
     /// parallel makespan.
     pub planning_threads: usize,
+    /// Worker threads for the fine-tuning phase's plan *executions*
+    /// (1 = serial) — first-touch true-cardinality joins materialize
+    /// concurrently. Queries within an iteration are distinct and
+    /// timeout budgets derive only from prior iterations, so every
+    /// observed latency, label, and cache decision is independent of
+    /// the thread count; the clock is charged the batch makespan via
+    /// [`ExecutionEnv::charge_execution_batch`].
+    pub training_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -96,8 +105,31 @@ impl Default for TrainConfig {
             },
             seed: 0xBA15A,
             planning_threads: 1,
+            training_threads: 1,
         }
     }
+}
+
+/// Where the training loop's wall-clock went — the benchmark's
+/// per-phase breakdown. All fields are measured walls for reporting;
+/// nothing downstream is keyed on them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainBreakdown {
+    /// Model-fit forward passes (the batched tree-conv kernels; 0 for
+    /// models that do not separate phases).
+    pub forward_secs: f64,
+    /// Model-fit backprop + parameter updates.
+    pub backward_secs: f64,
+    /// Subplan featurization (pretraining + fine-tuning), as the
+    /// parallel phases' wall-clock.
+    pub featurize_secs: f64,
+    /// Execution phases' wall-clock — dominated by first-touch
+    /// true-cardinality materialization.
+    pub truecard_secs: f64,
+    /// Sum of per-execution walls inside the execution phases; divide
+    /// by [`TrainBreakdown::truecard_secs`] for the realized parallel
+    /// speedup.
+    pub truecard_job_secs: f64,
 }
 
 /// One point of the learning trajectory.
@@ -140,6 +172,8 @@ pub struct TrainOutcome {
     pub trajectory: Vec<IterationStats>,
     /// The accumulated experience buffer.
     pub buffer: ExperienceBuffer,
+    /// Per-phase wall-clock breakdown of the run.
+    pub breakdown: TrainBreakdown,
 }
 
 /// Instantiates an untrained model of `kind` sized for `featurizer`.
@@ -153,13 +187,14 @@ pub fn make_model(kind: ModelKind, featurizer: &Featurizer) -> Box<dyn ValueMode
     }
 }
 
-/// Records `C_out` pseudo-latency labels for every subplan of `plan`,
-/// encoded for the model family being trained.
+/// Builds `C_out` pseudo-latency labels for every subplan of `plan`,
+/// encoded for the model family being trained. Pure (fresh estimator
+/// memos yield identical estimates), so the training loop featurizes on
+/// the worker pool and records the returned experiences serially.
 // Like `evaluate_learned`, the argument list is the full labeling
 // context; a struct would be rebuilt per call site.
 #[allow(clippy::too_many_arguments)]
-fn record_sim_labels(
-    buffer: &mut ExperienceBuffer,
+fn sim_labels(
     featurizer: &Featurizer,
     enc: FeatureEncoding,
     query: &Query,
@@ -167,6 +202,7 @@ fn record_sim_labels(
     est: &dyn CardEstimator,
     time_per_work: f64,
     startup_secs: f64,
+    out: &mut Vec<Experience>,
 ) {
     let qk = query_key(query);
     let cout = CoutModel;
@@ -176,7 +212,7 @@ fn record_sim_labels(
         // ordering sorts on this key, so it must be the frozen encoding
         // or fingerprint-algorithm changes would permute every SGD
         // minibatch and invalidate recorded learning curves.
-        buffer.record(Experience {
+        out.push(Experience {
             query_key: qk,
             fingerprint: sub.canonical_hash(),
             features: featurizer.featurize_enc(enc, query, &sub, est),
@@ -213,10 +249,13 @@ pub fn median(xs: &[f64]) -> f64 {
 }
 
 /// Executes greedy learned-value inference for `idxs` on `eval_env`,
-/// returning the per-query latencies. Planning runs on `pool` (one
-/// planner per worker, results merged in `idxs` order — bit-identical
-/// to the serial loop since greedy inference consumes no randomness);
-/// execution stays serial so the environment sees a fixed sequence.
+/// returning the per-query latencies. Planning *and* execution run on
+/// `pool` (one planner per worker, results merged in `idxs` order —
+/// bit-identical to the serial loop, since greedy inference consumes no
+/// randomness, latencies are deterministic per (query, plan), and the
+/// indices are distinct so no execution observes another's cache
+/// entry). Executions are uncharged: evaluation must not advance any
+/// simulated clock.
 // The argument list is the full evaluation context; a config struct
 // would be rebuilt at every call site for no clarity gain.
 #[allow(clippy::too_many_arguments)]
@@ -238,39 +277,39 @@ pub fn evaluate_learned(
         || BeamPlanner::new(db, &scorer, mode, beam_width),
         |planner, _, &i| planner.plan(&workload.queries[i]),
     );
-    idxs.iter()
-        .zip(&planned)
-        .map(|(&i, out)| {
-            eval_env
-                .execute(&workload.queries[i], &out.plan, None)
-                .expect("beam plan must be executable")
-                .latency_secs
-        })
-        .collect()
+    pool.map(&planned, |j, out| {
+        eval_env
+            .execute_uncharged(&workload.queries[idxs[j]], &out.plan, None)
+            .expect("beam plan must be executable")
+            .latency_secs
+    })
 }
 
 /// Executes the expert baseline — DP with the engine's expert cost model
-/// on estimated cardinalities — for `idxs`, returning latencies.
+/// on estimated cardinalities — for `idxs` on `pool`, returning
+/// latencies (deterministic for any thread count, as in
+/// [`evaluate_learned`]).
 pub fn evaluate_expert_baseline(
     db: &Arc<Database>,
     eval_env: &ExecutionEnv,
     workload: &Workload,
     idxs: &[usize],
     mode: SearchMode,
+    pool: &WorkerPool,
 ) -> Vec<f64> {
     let est = HistogramEstimator::new(db);
     let model = ExpertCostModel::new(db.clone(), eval_env.profile().weights);
-    let planner = DpPlanner::new(db, &model, &est, mode);
-    idxs.iter()
-        .map(|&i| {
-            let q = &workload.queries[i];
-            let out = planner.plan(q);
-            eval_env
-                .execute(q, &out.plan, None)
-                .expect("dp plan must be executable")
-                .latency_secs
-        })
-        .collect()
+    let planned = pool.map_init(
+        idxs,
+        || DpPlanner::new(db, &model, &est, mode),
+        |planner, _, &i| planner.plan(&workload.queries[i]),
+    );
+    pool.map(&planned, |j, out| {
+        eval_env
+            .execute_uncharged(&workload.queries[idxs[j]], &out.plan, None)
+            .expect("dp plan must be executable")
+            .latency_secs
+    })
 }
 
 /// Runs simulation pretraining followed by real-execution fine-tuning on
@@ -293,11 +332,22 @@ pub fn train_loop(
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     // Evaluation runs on a twin environment: latencies are deterministic
     // per (query, plan), so results match the training engine without
-    // touching its clock or plan cache.
-    let eval_env = ExecutionEnv::new(db.clone(), *profile, SimClock::paper_default());
+    // touching its clock or plan cache. The true-cardinality oracle is
+    // shared — cardinalities are exact ground truth, so sharing only
+    // saves re-materializing the same joins twice.
+    let eval_env = ExecutionEnv::with_truth(env.truth_arc(), *profile, SimClock::paper_default());
+
+    let mut breakdown = TrainBreakdown::default();
+    let pool = WorkerPool::new(cfg.planning_threads);
 
     // ---- Phase 1: simulation pretraining (§4.1) ----
+    // Plan collection stays serial: `random_plan` consumes the master
+    // RNG, whose stream is part of the reproducibility contract. The
+    // expensive per-subplan featurization is pure, so it fans out on
+    // the pool and the experiences are recorded serially in the same
+    // (query, plan, subplan) order as the historical serial loop.
     let cout = CoutModel;
+    let mut sim_jobs: Vec<(usize, Vec<Arc<Plan>>)> = Vec::with_capacity(split.train.len());
     for &qi in &split.train {
         let q = &workload.queries[qi];
         let memo = MemoEstimator::new(&est);
@@ -307,9 +357,17 @@ pub fn train_loop(
         for _ in 0..cfg.sim_random_plans {
             plans.push(random_plan(db, q, cfg.mode, &mut rng));
         }
-        for plan in &plans {
-            record_sim_labels(
-                &mut buffer,
+        sim_jobs.push((qi, plans));
+    }
+    let t_feat = Instant::now();
+    let featurized = pool.map(&sim_jobs, |_, (qi, plans)| {
+        let q = &workload.queries[*qi];
+        // A fresh memo per job: estimates are pure functions of the
+        // base estimator, so labels match the serial loop exactly.
+        let memo = MemoEstimator::new(&est);
+        let mut exps = Vec::new();
+        for plan in plans {
+            sim_labels(
                 &featurizer,
                 enc,
                 q,
@@ -317,7 +375,15 @@ pub fn train_loop(
                 &memo,
                 profile.time_per_work,
                 profile.startup_secs,
+                &mut exps,
             );
+        }
+        exps
+    });
+    breakdown.featurize_secs += t_feat.elapsed().as_secs_f64();
+    for exps in featurized {
+        for e in exps {
+            buffer.record(e);
         }
     }
     let report = model.fit(
@@ -326,9 +392,10 @@ pub fn train_loop(
         &mut rng,
     );
     env.charge_update(report.steps);
+    breakdown.forward_secs += report.forward_secs;
+    breakdown.backward_secs += report.backward_secs;
 
     let mut trajectory = Vec::new();
-    let pool = WorkerPool::new(cfg.planning_threads);
     let eval_point = |model: &dyn ValueModel| {
         let test = evaluate_learned(
             db,
@@ -386,6 +453,7 @@ pub fn train_loop(
         make_model(cfg.model, &featurizer),
     ));
     let mut best_lat: HashMap<usize, f64> = HashMap::new();
+    let exec_pool = WorkerPool::new(cfg.training_threads);
     for iter in 1..=cfg.iterations {
         // Linear epsilon decay: full exploration early, pure greed last.
         let epsilon = if cfg.iterations > 1 {
@@ -410,32 +478,56 @@ pub fn train_loop(
         let plan_secs: Vec<f64> = planned.iter().map(|p| p.planning_secs).collect();
         env.charge_planning_parallel(&plan_secs, pool.threads());
 
-        // (b) Execute serially in split order: the training clock, plan
-        // cache, and per-query timeout budgets see the exact sequence
-        // the serial loop produced.
+        // (b) Execute on the execution pool. Budgets are precomputed:
+        // each query appears once per iteration, so its budget depends
+        // only on prior iterations and matches the serial loop's.
+        // Latencies, labels, and cache decisions are deterministic per
+        // (query, plan) and the keys are distinct within the batch, so
+        // any thread count observes the serial outcomes; results fold
+        // back in split order and the clock is charged the batch's
+        // parallel makespan once.
+        let budgets: Vec<Option<f64>> = split
+            .train
+            .iter()
+            .map(|qi| best_lat.get(qi).map(|b| b * cfg.timeout_factor))
+            .collect();
+        let jobs: Vec<usize> = (0..split.train.len()).collect();
+        let t_exec = Instant::now();
+        let executed = exec_pool.map(&jobs, |_, &j| {
+            let q = &workload.queries[split.train[j]];
+            let t0 = Instant::now();
+            let r = env
+                .execute_labeled_uncharged(q, &planned[j].plan, budgets[j])
+                .expect("beam plan must be executable");
+            (r, t0.elapsed().as_secs_f64())
+        });
+        breakdown.truecard_secs += t_exec.elapsed().as_secs_f64();
         let mut lats = Vec::with_capacity(split.train.len());
         let mut timeouts = 0usize;
+        let mut fresh_lats = Vec::with_capacity(split.train.len());
         let mut label_jobs: Vec<(usize, Vec<SubtreeObs>)> = Vec::with_capacity(split.train.len());
-        for (&qi, out) in split.train.iter().zip(&planned) {
-            let q = &workload.queries[qi];
-            let budget = best_lat.get(&qi).map(|b| b * cfg.timeout_factor);
-            let (outcome, labels) = env
-                .execute_labeled(q, &out.plan, budget)
-                .expect("beam plan must be executable");
+        for (&qi, ((outcome, labels), job_secs)) in split.train.iter().zip(executed) {
+            breakdown.truecard_job_secs += job_secs;
             if outcome.timed_out {
                 timeouts += 1;
             } else {
                 let e = best_lat.entry(qi).or_insert(f64::INFINITY);
                 *e = e.min(outcome.latency_secs);
             }
+            if !outcome.from_cache {
+                fresh_lats.push(outcome.latency_secs);
+            }
             lats.push(outcome.latency_secs);
             label_jobs.push((qi, labels));
         }
+        // Cache hits cost no simulated time, exactly as in `execute`.
+        env.charge_execution_batch(&fresh_lats);
 
         // (c) Featurize all subtree labels on the pool, (d) record into
         // the buffer serially in the same (query, subtree) order as the
         // serial loop — the experience stream is order-sensitive
         // (dedup/best-label retention), the featurization is pure.
+        let t_feat = Instant::now();
         let featurized = pool.map(&label_jobs, |_, (qi, labels)| {
             let q = &workload.queries[*qi];
             let qk = query_key(q);
@@ -453,6 +545,7 @@ pub fn train_loop(
                 })
                 .collect::<Vec<_>>()
         });
+        breakdown.featurize_secs += t_feat.elapsed().as_secs_f64();
         for exps in featurized {
             for e in exps {
                 buffer.record(e);
@@ -466,6 +559,8 @@ pub fn train_loop(
             &mut rng,
         );
         env.charge_update(report.steps);
+        breakdown.forward_secs += report.forward_secs;
+        breakdown.backward_secs += report.backward_secs;
 
         let (test_median, val_median, val_geo) = eval_point(&*model);
         if val_geo < best_val || best_val.is_nan() {
@@ -490,5 +585,6 @@ pub fn train_loop(
         model: best_model,
         trajectory,
         buffer,
+        breakdown,
     }
 }

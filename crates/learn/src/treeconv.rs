@@ -26,12 +26,13 @@
 //! subtree size — instead of a full re-encode.
 
 use crate::model::{
-    FeatureEncoding, FitReport, JoinStateItem, ModelState, SgdConfig, TrainSet, ValueModel,
-    LRELU_SLOPE,
+    shuffle_epoch_order, FeatureEncoding, FitReport, JoinStateItem, ModelState, Optimizer,
+    SgdConfig, TrainSet, ValueModel, LRELU_SLOPE,
 };
 use rand::rngs::SmallRng;
-use rand::{RngExt, SliceRandomExt};
+use rand::RngExt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Architecture of the tree-convolution network.
 #[derive(Debug, Clone)]
@@ -107,6 +108,56 @@ fn decode_tree(x: &[f64]) -> DecodedTree {
         feats.push(x[base + 2..base + 2 + d].to_vec());
     }
     DecodedTree { feats, children }
+}
+
+/// Every training tree decoded into one flat arena: node features and
+/// child links stored contiguously so minibatch assembly is a gather
+/// rather than a pointer chase, and epochs re-slice it allocation-free.
+struct TreeArena {
+    /// Node features, node-major (`total_nodes × node_dim`); trees in
+    /// dataset order, nodes in post-order within each tree.
+    feats: Vec<f64>,
+    /// Per-node children as arena-global indices + 1 (`(0, 0)` marks a
+    /// leaf; both children are present otherwise).
+    kids: Vec<(u32, u32)>,
+    /// Tree `i` occupies arena nodes `ofs[i]..ofs[i + 1]`.
+    ofs: Vec<u32>,
+}
+
+impl TreeArena {
+    fn build(xs: &[Vec<f64>], node_dim: usize) -> Self {
+        let mut arena = Self {
+            feats: Vec::new(),
+            kids: Vec::new(),
+            ofs: vec![0],
+        };
+        for x in xs {
+            assert!(x.len() >= 2, "tree encoding too short");
+            let n = x[0] as usize;
+            let d = x[1] as usize;
+            assert_eq!(d, node_dim, "node encoding dimension mismatch");
+            assert_eq!(x.len(), 2 + n * (2 + d), "corrupt tree encoding");
+            let base = *arena.ofs.last().expect("seeded with 0") as usize;
+            for i in 0..n {
+                let at = 2 + i * (2 + d);
+                let (l, r) = (x[at] as usize, x[at + 1] as usize);
+                arena.kids.push(if l == 0 {
+                    (0, 0)
+                } else {
+                    debug_assert!(r > 0 && l <= i && r <= i, "child slots must precede");
+                    ((base + l) as u32, (base + r) as u32)
+                });
+                arena.feats.extend_from_slice(&x[at + 2..at + 2 + d]);
+            }
+            arena.ofs.push((base + n) as u32);
+        }
+        arena
+    }
+
+    /// Arena node range of tree `i`.
+    fn tree(&self, i: usize) -> std::ops::Range<usize> {
+        self.ofs[i] as usize..self.ofs[i + 1] as usize
+    }
 }
 
 #[inline]
@@ -237,6 +288,46 @@ struct Forward {
     h_act: Vec<f64>,
     /// Scalar output (predicted log latency).
     out: f64,
+}
+
+/// Reusable buffers for one minibatch through the batched training
+/// kernels — sized on first use and recycled across minibatches and
+/// epochs so the training hot loop performs no per-node allocation.
+#[derive(Default)]
+struct BatchScratch {
+    /// Arena node of each batch slot (samples in minibatch order, nodes
+    /// in post-order within a sample).
+    node: Vec<u32>,
+    /// Batch-local children + 1 (`(0, 0)` = leaf).
+    kids: Vec<(u32, u32)>,
+    /// Sample `s` owns batch slots `sample_ofs[s]..sample_ofs[s + 1]`.
+    sample_ofs: Vec<u32>,
+    /// Per-level activations, slot-major; `acts[0]` holds the gathered
+    /// node encodings and `acts[L]` feeds the pool.
+    acts: Vec<Vec<f64>>,
+    /// Per-level pre-activations, slot-major.
+    pre: Vec<Vec<f64>>,
+    /// Pooled channel maxima, `samples × C`.
+    pooled: Vec<f64>,
+    /// Batch slot each pooled channel came from (gradient routing).
+    argmax: Vec<u32>,
+    /// MLP hidden pre-activations / activations, `samples × H`.
+    h_pre: Vec<f64>,
+    h_act: Vec<f64>,
+    /// Scalar outputs, one per sample.
+    outs: Vec<f64>,
+    /// Per-sample backprop seed (`∂loss/∂out`) and hinge-activity flag,
+    /// filled by the caller between forward and backward.
+    d_outs: Vec<f64>,
+    active: Vec<bool>,
+    /// Backprop: gradient wrt the current conv level's activations and
+    /// the level below (swapped per level), plus small per-node/sample
+    /// temporaries.
+    d_act: Vec<f64>,
+    d_below: Vec<f64>,
+    d_z: Vec<f64>,
+    d_pooled: Vec<f64>,
+    d_h_pre: Vec<f64>,
 }
 
 /// Incremental per-subtree inference state (the [`ModelState`] payload):
@@ -524,6 +615,315 @@ impl TreeConvValueModel {
         mask.extend(vec![0.0; self.head2.b.len()]);
         mask
     }
+
+    /// Batched training forward over one minibatch of trees: the same
+    /// filters × tile orientation as the inference-side
+    /// [`ValueModel::join_state_batch`], generalized from one window per
+    /// candidate to every node of every sample. Within a tile of node
+    /// windows each filter row sweeps the gathered inputs while the
+    /// weights stay cached — a tiled filters × batch matrix product.
+    /// Per-window arithmetic (`b + wn·x + wl·xl + wr·xr`, dots
+    /// accumulated left to right), the strict-`>` pool over nodes in
+    /// post-order, and the MLP head all replay
+    /// [`TreeConvValueModel::forward`] exactly, so batched outputs are
+    /// bit-identical to the per-sample path at any batch geometry.
+    // Filters × tile wants plain index loops over parallel slice views;
+    // see `join_state_batch` for the layout rationale.
+    #[allow(clippy::needless_range_loop)]
+    fn batch_forward(&self, arena: &TreeArena, chunk: &[usize], s: &mut BatchScratch) {
+        /// Node windows per tile: 3 input slices × ≤ 34 channels × 8 B
+        /// × 32 ≈ 26 KB — sized to L1, matching `join_state_batch`.
+        const TILE: usize = 32;
+        // Assemble the batch: gather arena nodes, rebase child links.
+        s.node.clear();
+        s.kids.clear();
+        s.sample_ofs.clear();
+        s.sample_ofs.push(0);
+        for &ti in chunk {
+            let range = arena.tree(ti);
+            let (tree_base, batch_base) = (range.start, s.node.len());
+            for g in range {
+                s.node.push(g as u32);
+                let (l, r) = arena.kids[g];
+                s.kids.push(if l == 0 {
+                    (0, 0)
+                } else {
+                    (
+                        (l as usize - tree_base + batch_base) as u32,
+                        (r as usize - tree_base + batch_base) as u32,
+                    )
+                });
+            }
+            s.sample_ofs.push(s.node.len() as u32);
+        }
+        let nodes = s.node.len();
+        let nsamples = chunk.len();
+        let levels = self.conv.len();
+        s.acts.resize_with(levels + 1, Vec::new);
+        s.pre.resize_with(levels, Vec::new);
+
+        // Level 0: the gathered node encodings.
+        let d0 = self.node_dim;
+        s.acts[0].clear();
+        s.acts[0].reserve(nodes * d0);
+        for &g in &s.node {
+            let at = g as usize * d0;
+            s.acts[0].extend_from_slice(&arena.feats[at..at + d0]);
+        }
+
+        // Convolution stack. A layer only reads same-level activations,
+        // which are complete before the next level runs, so tiles can
+        // sweep nodes in any grouping without ordering hazards.
+        for (li, layer) in self.conv.iter().enumerate() {
+            let (in_dim, out_dim) = (layer.in_dim, layer.out_dim);
+            let (lower, upper) = s.acts.split_at_mut(li + 1);
+            let x_all = lower[li].as_slice();
+            let z_all = &mut s.pre[li];
+            z_all.clear();
+            z_all.resize(nodes * out_dim, 0.0);
+            let mut lo = 0;
+            while lo < nodes {
+                let hi = (lo + TILE).min(nodes);
+                for o in 0..out_dim {
+                    let wn_row = &layer.wn[o * in_dim..(o + 1) * in_dim];
+                    let wl_row = &layer.wl[o * in_dim..(o + 1) * in_dim];
+                    let wr_row = &layer.wr[o * in_dim..(o + 1) * in_dim];
+                    let b = layer.b[o];
+                    for p in lo..hi {
+                        let x = &x_all[p * in_dim..(p + 1) * in_dim];
+                        let mut z = b;
+                        z += wn_row.iter().zip(x).map(|(w, x)| w * x).sum::<f64>();
+                        let (lk, rk) = s.kids[p];
+                        if lk != 0 {
+                            let (a, c) = (lk as usize - 1, rk as usize - 1);
+                            let xl = &x_all[a * in_dim..(a + 1) * in_dim];
+                            let xr = &x_all[c * in_dim..(c + 1) * in_dim];
+                            z += wl_row.iter().zip(xl).map(|(w, x)| w * x).sum::<f64>();
+                            z += wr_row.iter().zip(xr).map(|(w, x)| w * x).sum::<f64>();
+                        }
+                        z_all[p * out_dim + o] = z;
+                    }
+                }
+                lo = hi;
+            }
+            let a_out = &mut upper[0];
+            a_out.clear();
+            a_out.extend(z_all.iter().map(|&z| lrelu(z)));
+        }
+
+        // Dynamic pooling per sample: strict `>` over nodes in
+        // post-order, exactly as `forward`.
+        let c_dim = self.conv.last().expect("at least one layer").out_dim;
+        let top = s.acts[levels].as_slice();
+        s.pooled.clear();
+        s.pooled.resize(nsamples * c_dim, f64::NEG_INFINITY);
+        s.argmax.clear();
+        s.argmax.resize(nsamples * c_dim, 0);
+        for si in 0..nsamples {
+            let pooled = &mut s.pooled[si * c_dim..(si + 1) * c_dim];
+            let argmax = &mut s.argmax[si * c_dim..(si + 1) * c_dim];
+            for p in s.sample_ofs[si] as usize..s.sample_ofs[si + 1] as usize {
+                let h = &top[p * c_dim..(p + 1) * c_dim];
+                for (ch, &v) in h.iter().enumerate() {
+                    if v > pooled[ch] {
+                        pooled[ch] = v;
+                        argmax[ch] = p as u32;
+                    }
+                }
+            }
+        }
+
+        // MLP head per sample.
+        let hd = self.head1.b.len();
+        s.h_pre.clear();
+        s.h_pre.resize(nsamples * hd, 0.0);
+        s.h_act.clear();
+        s.h_act.resize(nsamples * hd, 0.0);
+        s.outs.clear();
+        s.outs.resize(nsamples, 0.0);
+        for si in 0..nsamples {
+            let pooled = &s.pooled[si * c_dim..(si + 1) * c_dim];
+            for o in 0..hd {
+                let row = &self.head1.w[o * c_dim..(o + 1) * c_dim];
+                let z = self.head1.b[o] + row.iter().zip(pooled).map(|(w, x)| w * x).sum::<f64>();
+                s.h_pre[si * hd + o] = z;
+                s.h_act[si * hd + o] = lrelu(z);
+            }
+            let h_act = &s.h_act[si * hd..(si + 1) * hd];
+            s.outs[si] = self.head2.b[0]
+                + self
+                    .head2
+                    .w
+                    .iter()
+                    .zip(h_act)
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>();
+        }
+    }
+
+    /// Batched backprop over the minibatch's **active** samples,
+    /// accumulating `Σ_s d_out_s · ∂out_s/∂θ` into the flat `grad`
+    /// (layout of [`ValueModel::params`]). Samples accumulate in
+    /// minibatch order and the per-node operation sequence replays
+    /// [`TreeConvValueModel::backward`] exactly, so a one-sample batch
+    /// is bit-identical to the per-sample reference and any fixed batch
+    /// geometry sums gradients in a deterministic order. Inactive
+    /// samples (hinge-gated) are skipped entirely, matching the
+    /// per-sample path's `continue`.
+    fn batch_backward(&self, s: &mut BatchScratch, grad: &mut [f64]) {
+        let levels = self.conv.len();
+        // Split the flat gradient exactly as `backward` does.
+        let mut parts: Vec<&mut [f64]> = Vec::new();
+        let mut rest = grad;
+        for c in &self.conv {
+            for len in [c.wn.len(), c.wl.len(), c.wr.len(), c.b.len()] {
+                let (head, tail) = rest.split_at_mut(len);
+                parts.push(head);
+                rest = tail;
+            }
+        }
+        for len in [
+            self.head1.w.len(),
+            self.head1.b.len(),
+            self.head2.w.len(),
+            self.head2.b.len(),
+        ] {
+            let (head, tail) = rest.split_at_mut(len);
+            parts.push(head);
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+        let (conv_parts, head_parts) = parts.split_at_mut(4 * levels);
+
+        let nsamples = s.sample_ofs.len() - 1;
+        let nodes = s.node.len();
+        let c_dim = self.conv.last().expect("at least one layer").out_dim;
+        let hd = self.head1.b.len();
+
+        // Head phase per active sample, then pool routing into the top
+        // conv level's activation gradients.
+        s.d_act.clear();
+        s.d_act.resize(nodes * c_dim, 0.0);
+        for si in 0..nsamples {
+            if !s.active[si] {
+                continue;
+            }
+            let d_out = s.d_outs[si];
+            let h_act = &s.h_act[si * hd..(si + 1) * hd];
+            let h_pre = &s.h_pre[si * hd..(si + 1) * hd];
+            let pooled = &s.pooled[si * c_dim..(si + 1) * c_dim];
+            // Same op order as `backward`: head2 grads, then head1
+            // grads, then d_pooled, then argmax routing.
+            s.d_h_pre.clear();
+            s.d_h_pre.extend(
+                self.head2
+                    .w
+                    .iter()
+                    .zip(h_pre)
+                    .map(|(w, &z)| w * d_out * lrelu_grad(z)),
+            );
+            outer_acc(head_parts[2], &[d_out], h_act);
+            head_parts[3][0] += d_out;
+            outer_acc(head_parts[0], &s.d_h_pre, pooled);
+            for (g, d) in head_parts[1].iter_mut().zip(&s.d_h_pre) {
+                *g += d;
+            }
+            s.d_pooled.clear();
+            s.d_pooled.resize(c_dim, 0.0);
+            matvec_t_acc(&self.head1.w, &s.d_h_pre, &mut s.d_pooled);
+            for (ch, &d) in s.d_pooled.iter().enumerate() {
+                let p = s.argmax[si * c_dim + ch] as usize;
+                s.d_act[p * c_dim + ch] += d;
+            }
+        }
+
+        // Conv stack, top layer down; within a level, samples in
+        // minibatch order and nodes in post-order, per-node op sequence
+        // identical to `backward`.
+        for l in (0..levels).rev() {
+            let layer = &self.conv[l];
+            let (in_dim, out_dim) = (layer.in_dim, layer.out_dim);
+            s.d_below.clear();
+            s.d_below.resize(nodes * in_dim, 0.0);
+            let x_all = s.acts[l].as_slice();
+            let z_all = s.pre[l].as_slice();
+            for si in 0..nsamples {
+                if !s.active[si] {
+                    continue;
+                }
+                for p in s.sample_ofs[si] as usize..s.sample_ofs[si + 1] as usize {
+                    s.d_z.clear();
+                    s.d_z.extend(
+                        s.d_act[p * out_dim..(p + 1) * out_dim]
+                            .iter()
+                            .zip(&z_all[p * out_dim..(p + 1) * out_dim])
+                            .map(|(&d, &z)| d * lrelu_grad(z)),
+                    );
+                    let x = &x_all[p * in_dim..(p + 1) * in_dim];
+                    outer_acc(conv_parts[4 * l], &s.d_z, x);
+                    matvec_t_acc(
+                        &layer.wn,
+                        &s.d_z,
+                        &mut s.d_below[p * in_dim..(p + 1) * in_dim],
+                    );
+                    let (lk, rk) = s.kids[p];
+                    if lk != 0 {
+                        let (a, c) = (lk as usize - 1, rk as usize - 1);
+                        outer_acc(
+                            conv_parts[4 * l + 1],
+                            &s.d_z,
+                            &x_all[a * in_dim..(a + 1) * in_dim],
+                        );
+                        outer_acc(
+                            conv_parts[4 * l + 2],
+                            &s.d_z,
+                            &x_all[c * in_dim..(c + 1) * in_dim],
+                        );
+                        matvec_t_acc(
+                            &layer.wl,
+                            &s.d_z,
+                            &mut s.d_below[a * in_dim..(a + 1) * in_dim],
+                        );
+                        matvec_t_acc(
+                            &layer.wr,
+                            &s.d_z,
+                            &mut s.d_below[c * in_dim..(c + 1) * in_dim],
+                        );
+                    }
+                    for (g, d) in conv_parts[4 * l + 3].iter_mut().zip(&s.d_z) {
+                        *g += d;
+                    }
+                }
+            }
+            std::mem::swap(&mut s.d_act, &mut s.d_below);
+        }
+    }
+
+    /// Analytic gradient of [`TreeConvValueModel::loss`] computed
+    /// through the batched kernels at minibatch size `batch` — the
+    /// finite-difference tests check this path at several batch
+    /// geometries against the same numeric reference as
+    /// [`TreeConvValueModel::loss_grad`] (no L2 term).
+    pub fn loss_grad_batched(&self, data: &TrainSet, batch: usize) -> Vec<f64> {
+        assert!(!data.is_empty(), "gradient of an empty set");
+        let arena = TreeArena::build(&data.xs, self.node_dim);
+        let mut grad = vec![0.0; self.num_params()];
+        let mut scratch = BatchScratch::default();
+        let inv = 1.0 / data.len() as f64;
+        let idxs: Vec<usize> = (0..data.len()).collect();
+        for chunk in idxs.chunks(batch.max(1)) {
+            self.batch_forward(&arena, chunk, &mut scratch);
+            scratch.d_outs.clear();
+            scratch.active.clear();
+            for (bs, &i) in chunk.iter().enumerate() {
+                let r = scratch.outs[bs] - data.ys[i];
+                scratch.active.push(!(data.censored[i] && r >= 0.0));
+                scratch.d_outs.push(r * inv);
+            }
+            self.batch_backward(&mut scratch, &mut grad);
+        }
+        grad
+    }
 }
 
 impl ValueModel for TreeConvValueModel {
@@ -543,11 +943,98 @@ impl ValueModel for TreeConvValueModel {
         self.forward(&decode_tree(x)).out
     }
 
+    /// Minibatched censored-hinge SGD: the whole minibatch runs through
+    /// [`TreeConvValueModel::batch_forward`] /
+    /// [`TreeConvValueModel::batch_backward`] as filters × batch matrix
+    /// products instead of one tree at a time. The batched kernels
+    /// replay the per-sample arithmetic exactly, so at any fixed batch
+    /// geometry checkpoints are bit-identical across runs, and a batch
+    /// size of 1 reproduces [`ValueModel::fit_per_sample`] bit for bit.
     fn fit(&mut self, data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
         assert_eq!(data.xs.len(), data.ys.len());
         assert_eq!(data.censored.len(), data.ys.len());
         if data.is_empty() {
-            return FitReport { steps: 0, mse: 0.0 };
+            return FitReport::default();
+        }
+        let n = data.len();
+        if !self.fitted {
+            let mean = data.ys.iter().sum::<f64>() / n as f64;
+            self.init_weights(mean, rng);
+        }
+        // Decode every tree once into the flat arena; epochs re-slice
+        // it with zero per-batch allocation.
+        let arena = TreeArena::build(&data.xs, self.node_dim);
+
+        let mask = self.l2_mask();
+        let mut params = self.params();
+        let mut grad = vec![0.0; params.len()];
+        let mut opt = Optimizer::new(cfg, params.len());
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut scratch = BatchScratch::default();
+        let mut steps = 0u64;
+        let (mut forward_secs, mut backward_secs) = (0.0, 0.0);
+        for _epoch in 0..cfg.epochs {
+            shuffle_epoch_order(&mut order, rng);
+            for chunk in order.chunks(cfg.batch.max(1)) {
+                let t0 = Instant::now();
+                self.batch_forward(&arena, chunk, &mut scratch);
+                let t1 = Instant::now();
+                forward_secs += (t1 - t0).as_secs_f64();
+                let mut active = 0usize;
+                scratch.d_outs.clear();
+                scratch.active.clear();
+                for (bs, &i) in chunk.iter().enumerate() {
+                    let r = scratch.outs[bs] - data.ys[i];
+                    let live = !(data.censored[i] && r >= 0.0);
+                    scratch.d_outs.push(r);
+                    scratch.active.push(live);
+                    active += usize::from(live);
+                }
+                if active > 0 {
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    self.batch_backward(&mut scratch, &mut grad);
+                    let inv = 1.0 / active as f64;
+                    grad.iter_mut().for_each(|g| *g *= inv);
+                    opt.step(cfg, &mut params, &grad, &mask);
+                    self.set_params(&params);
+                }
+                backward_secs += t1.elapsed().as_secs_f64();
+                steps += 1;
+            }
+        }
+
+        // Final training error through the batched forward, samples in
+        // dataset order (the same accumulation order as per-sample).
+        let idxs: Vec<usize> = (0..n).collect();
+        let mut total = 0.0;
+        for chunk in idxs.chunks(cfg.batch.max(1)) {
+            self.batch_forward(&arena, chunk, &mut scratch);
+            for (bs, &i) in chunk.iter().enumerate() {
+                let r = scratch.outs[bs] - data.ys[i];
+                if !(data.censored[i] && r >= 0.0) {
+                    total += r * r;
+                }
+            }
+        }
+        FitReport {
+            steps,
+            mse: total / n as f64,
+            forward_secs,
+            backward_secs,
+        }
+    }
+
+    /// The pre-batching reference: one tree at a time through
+    /// [`TreeConvValueModel::forward`] / `backward`, with the same
+    /// sampler stream ([`shuffle_epoch_order`]) and the same
+    /// [`Optimizer`] arithmetic as the batched [`ValueModel::fit`].
+    /// Kept as the bit-identity reference (a batch of one reproduces it
+    /// exactly) and as the benchmark gate's baseline.
+    fn fit_per_sample(&mut self, data: TrainSet, cfg: &SgdConfig, rng: &mut SmallRng) -> FitReport {
+        assert_eq!(data.xs.len(), data.ys.len());
+        assert_eq!(data.censored.len(), data.ys.len());
+        if data.is_empty() {
+            return FitReport::default();
         }
         let n = data.len();
         if !self.fitted {
@@ -572,29 +1059,32 @@ impl ValueModel for TreeConvValueModel {
         let mask = self.l2_mask();
         let mut params = self.params();
         let mut grad = vec![0.0; params.len()];
-        let mut vel = vec![0.0; params.len()];
+        let mut opt = Optimizer::new(cfg, params.len());
         let mut order: Vec<usize> = (0..n).collect();
         let mut steps = 0u64;
+        let (mut forward_secs, mut backward_secs) = (0.0, 0.0);
         for _epoch in 0..cfg.epochs {
-            order.shuffle(rng);
+            shuffle_epoch_order(&mut order, rng);
             for chunk in order.chunks(cfg.batch.max(1)) {
                 grad.iter_mut().for_each(|g| *g = 0.0);
                 let mut active = 0usize;
                 for &i in chunk {
+                    let t0 = Instant::now();
                     let f = self.forward(&trees[i]);
+                    let t1 = Instant::now();
+                    forward_secs += (t1 - t0).as_secs_f64();
                     let r = f.out - data.ys[i];
                     if data.censored[i] && r >= 0.0 {
                         continue;
                     }
                     active += 1;
                     self.backward(&trees[i], &f, r, &mut grad);
+                    backward_secs += t1.elapsed().as_secs_f64();
                 }
                 if active > 0 {
                     let inv = 1.0 / active as f64;
-                    for (((p, g), m), v) in params.iter_mut().zip(&grad).zip(&mask).zip(&mut vel) {
-                        *v = cfg.momentum * *v + g * inv + cfg.l2 * m * *p;
-                        *p -= cfg.lr * *v;
-                    }
+                    grad.iter_mut().for_each(|g| *g *= inv);
+                    opt.step(cfg, &mut params, &grad, &mask);
                     self.set_params(&params);
                 }
                 steps += 1;
@@ -614,7 +1104,12 @@ impl ValueModel for TreeConvValueModel {
             })
             .sum::<f64>()
             / n as f64;
-        FitReport { steps, mse }
+        FitReport {
+            steps,
+            mse,
+            forward_secs,
+            backward_secs,
+        }
     }
 
     fn params(&self) -> Vec<f64> {
@@ -895,6 +1390,106 @@ mod tests {
             worst = worst.max(err);
         }
         assert!(worst.is_finite());
+    }
+
+    /// A larger mixed set for exercising real minibatch geometries
+    /// (several chunks at batch 7, one chunk at batch 32).
+    fn fd_set_large(rng: &mut SmallRng) -> TrainSet {
+        let mut data = TrainSet::default();
+        for i in 0..17 {
+            data.xs.push(random_tree(1 + i % 6, 5, rng));
+            data.ys.push((i as f64) - 8.0 + 0.25 * (i % 3) as f64);
+            data.censored.push(i % 4 == 0);
+        }
+        data
+    }
+
+    /// The batched backprop path (conv tiles, pool routing, hinge
+    /// gating) matches central finite differences at several batch
+    /// geometries — including partial final chunks (17 samples at
+    /// batch 7) and the whole-set batch.
+    #[test]
+    fn batched_gradients_match_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(0xBA7C4);
+        let model = small_model(&mut rng);
+        let data = fd_set_large(&mut rng);
+        let p0 = model.params();
+        let h = 1e-5;
+        let numeric: Vec<f64> = (0..p0.len())
+            .map(|j| {
+                let mut m = model.clone();
+                let mut p = p0.clone();
+                p[j] += h;
+                m.set_params(&p);
+                let up = m.loss(&data);
+                p[j] = p0[j] - h;
+                m.set_params(&p);
+                let down = m.loss(&data);
+                (up - down) / (2.0 * h)
+            })
+            .collect();
+        for batch in [1usize, 7, 32] {
+            let analytic = model.loss_grad_batched(&data, batch);
+            assert_eq!(analytic.len(), p0.len());
+            for (j, (&num, &ana)) in numeric.iter().zip(&analytic).enumerate() {
+                let err = (num - ana).abs();
+                let tol = 1e-6 + 1e-4 * num.abs().max(ana.abs());
+                assert!(
+                    err <= tol,
+                    "batch {batch}, param {j}: numeric {num} vs analytic {ana} (err {err})"
+                );
+            }
+        }
+    }
+
+    /// At batch size 1 the batched kernels replay the per-sample op
+    /// sequence exactly, so the gradients are bit-identical — not just
+    /// close — to [`TreeConvValueModel::loss_grad`].
+    #[test]
+    fn batched_gradient_is_bit_identical_at_batch_one() {
+        let mut rng = SmallRng::seed_from_u64(0x1DE);
+        let model = small_model(&mut rng);
+        let data = fd_set_large(&mut rng);
+        assert_eq!(model.loss_grad_batched(&data, 1), model.loss_grad(&data));
+    }
+
+    /// Batched `fit` at batch size 1 reproduces the per-sample
+    /// reference bit for bit: same sampler stream, same optimizer
+    /// arithmetic, same checkpoint.
+    #[test]
+    fn batched_fit_matches_per_sample_at_batch_one() {
+        let mut rng = SmallRng::seed_from_u64(0xF17);
+        let data = fd_set_large(&mut rng);
+        let cfg = SgdConfig {
+            epochs: 8,
+            batch: 1,
+            lr: 0.001,
+            ..SgdConfig::default()
+        };
+        for optimizer in [
+            crate::model::OptimizerKind::Sgd,
+            crate::model::OptimizerKind::Momentum,
+            crate::model::OptimizerKind::Adam,
+        ] {
+            let cfg = SgdConfig {
+                optimizer,
+                momentum: 0.9,
+                ..cfg
+            };
+            let mut seed_rng = SmallRng::seed_from_u64(0xAB);
+            let mut batched = small_model(&mut seed_rng);
+            let mut seed_rng = SmallRng::seed_from_u64(0xAB);
+            let mut per_sample = small_model(&mut seed_rng);
+            let mut r1 = SmallRng::seed_from_u64(99);
+            let mut r2 = SmallRng::seed_from_u64(99);
+            let a = batched.fit(data.clone(), &cfg, &mut r1);
+            let b = per_sample.fit_per_sample(data.clone(), &cfg, &mut r2);
+            let p = batched.params();
+            assert!(p.iter().all(|v| v.is_finite()), "{optimizer:?} diverged");
+            assert_eq!(p, per_sample.params(), "{optimizer:?}");
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.mse.to_bits(), b.mse.to_bits());
+        }
     }
 
     /// A censored sample whose prediction already exceeds the bound

@@ -195,7 +195,14 @@ fn train_loop_smoke_end_to_end() {
         cfg.beam_width,
         &balsa_search::WorkerPool::new(1),
     );
-    let expert = evaluate_expert_baseline(&db, &eval_env, &w, &split.test, cfg.mode);
+    let expert = evaluate_expert_baseline(
+        &db,
+        &eval_env,
+        &w,
+        &split.test,
+        cfg.mode,
+        &balsa_search::WorkerPool::new(1),
+    );
     let (ml, me) = (median(&learned), median(&expert));
     assert!(
         ml <= me * 10.0,
@@ -358,6 +365,7 @@ fn parallel_train_loop_matches_serial_checkpoints_bitwise() {
                 sim_random_plans: 2,
                 iterations: 2,
                 planning_threads: threads,
+                training_threads: threads,
                 pretrain_sgd: SgdConfig {
                     epochs: 4,
                     ..SgdConfig::default()
@@ -437,7 +445,14 @@ fn tree_conv_train_loop_end_to_end() {
         cfg.beam_width,
         &balsa_search::WorkerPool::new(1),
     );
-    let expert = evaluate_expert_baseline(&db, &eval_env, &w, &split.test, cfg.mode);
+    let expert = evaluate_expert_baseline(
+        &db,
+        &eval_env,
+        &w,
+        &split.test,
+        cfg.mode,
+        &balsa_search::WorkerPool::new(1),
+    );
     let (ml, me) = (median(&learned), median(&expert));
     assert!(
         ml <= me * 10.0,

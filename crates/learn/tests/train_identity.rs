@@ -1,0 +1,119 @@
+//! Determinism of the training hot path (PR 6 acceptance).
+//!
+//! Minibatched tree-conv SGD and the Adam optimizer are wall-clock
+//! changes, not semantics changes: for a fixed seed and batch geometry
+//! the full two-phase `train_loop` must produce **bit-identical**
+//! checkpoints run-to-run, for every optimizer kind and both model
+//! families. The minibatch sampler's RNG stream is pinned by a
+//! hard-coded permutation so any reordering of its draws — however the
+//! fit paths are refactored — fails loudly rather than silently
+//! re-shuffling every recorded learning curve.
+
+use balsa_engine::ExecutionEnv;
+use balsa_learn::{
+    shuffle_epoch_order, train_loop, LabelSource, ModelKind, OptimizerKind, SgdConfig, TrainConfig,
+};
+use balsa_query::workloads::job_workload;
+use balsa_query::Split;
+use balsa_storage::{mini_imdb, DataGenConfig, Database};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn small_db() -> Arc<Database> {
+    Arc::new(mini_imdb(DataGenConfig {
+        scale: 0.02,
+        ..Default::default()
+    }))
+}
+
+fn small_cfg(kind: ModelKind, optimizer: OptimizerKind) -> TrainConfig {
+    TrainConfig {
+        model: kind,
+        beam_width: 3,
+        sim_random_plans: 2,
+        iterations: 2,
+        pretrain_sgd: SgdConfig {
+            epochs: 4,
+            optimizer,
+            momentum: 0.9,
+            lr: 0.005,
+            ..SgdConfig::default()
+        },
+        finetune_sgd: SgdConfig {
+            epochs: 2,
+            optimizer,
+            momentum: 0.9,
+            lr: 0.002,
+            ..SgdConfig::default()
+        },
+        ..TrainConfig::default()
+    }
+}
+
+/// Two identical `train_loop` runs produce bit-identical checkpoints
+/// and experience streams for every optimizer kind — Adam's moment
+/// state and step counter included — across both model families.
+#[test]
+fn checkpoints_are_bit_identical_across_reruns_for_every_optimizer() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    let split = Split {
+        train: (0..6).collect(),
+        test: (6..8).collect(),
+    };
+    for kind in [ModelKind::Linear, ModelKind::TreeConv] {
+        let run = |optimizer: OptimizerKind| {
+            let cfg = small_cfg(kind, optimizer);
+            let env = ExecutionEnv::postgres_sim(db.clone());
+            let o = train_loop(&db, &env, &w, &split, &cfg);
+            (o.model.params(), o.buffer.count(LabelSource::Real))
+        };
+        let mut by_opt = Vec::new();
+        for optimizer in [
+            OptimizerKind::Sgd,
+            OptimizerKind::Momentum,
+            OptimizerKind::Adam,
+        ] {
+            let (params_a, real_a) = run(optimizer);
+            let (params_b, real_b) = run(optimizer);
+            assert!(!params_a.is_empty());
+            assert_eq!(
+                real_a, real_b,
+                "{kind:?}/{optimizer:?}: experience streams diverge across reruns"
+            );
+            assert_eq!(
+                params_a, params_b,
+                "{kind:?}/{optimizer:?}: checkpoint not bit-identical across reruns"
+            );
+            by_opt.push((optimizer, params_a));
+        }
+        // The optimizers must actually produce different trajectories —
+        // otherwise the kind switch is dead and the test above proves
+        // nothing about Adam.
+        for i in 0..by_opt.len() {
+            for j in i + 1..by_opt.len() {
+                assert_ne!(
+                    by_opt[i].1, by_opt[j].1,
+                    "{kind:?}: {:?} and {:?} produced identical checkpoints",
+                    by_opt[i].0, by_opt[j].0
+                );
+            }
+        }
+    }
+}
+
+/// The minibatch sampler stream is a pinned contract: every fit draws
+/// its epoch orders through `shuffle_epoch_order`, and for a fixed seed
+/// the first two epochs' permutations are exactly these. Regenerate the
+/// constants only for a deliberate, changelog-noted sampler change —
+/// they gate accidental re-seeding or extra RNG draws in the fit paths.
+#[test]
+fn sampler_stream_is_pinned() {
+    let mut rng = SmallRng::seed_from_u64(0xBA15A);
+    let mut order: Vec<usize> = (0..10).collect();
+    shuffle_epoch_order(&mut order, &mut rng);
+    assert_eq!(order, [9, 8, 7, 5, 2, 4, 3, 0, 6, 1], "epoch 1 permutation");
+    shuffle_epoch_order(&mut order, &mut rng);
+    assert_eq!(order, [7, 6, 2, 8, 3, 4, 5, 0, 9, 1], "epoch 2 permutation");
+}

@@ -212,12 +212,12 @@ fn main() {
             json_f(rep.plan_wall_secs)
         );
         // With one thread the "speedup" is pure measurement noise
-        // (~0.99x); suppress it rather than invite misreading.
-        let speedup = if pool.threads() > 1 {
-            json_f(plan_total / rep.plan_wall_secs.max(1e-12))
-        } else {
-            "null".into()
-        };
+        // (~0.99x); `parallel_speedup` suppresses it.
+        let speedup =
+            match balsa_search::parallel_speedup(plan_total, rep.plan_wall_secs, pool.threads()) {
+                Some(s) => json_f(s),
+                None => "null".into(),
+            };
         let _ = writeln!(out, "      \"plan_parallel_speedup\": {speedup},");
         let _ = writeln!(out, "      \"planning_threads\": {},", pool.threads());
         let _ = writeln!(out, "      \"pairs_total\": {},", rep.pairs);

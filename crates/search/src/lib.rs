@@ -38,7 +38,7 @@ pub use beam::BeamPlanner;
 pub use candidates::CandidateSpace;
 pub use dp::{DpPlanner, FrontierEntry, SubmaskDpPlanner};
 pub use enumerate::JoinGraph;
-pub use pool::WorkerPool;
+pub use pool::{parallel_speedup, WorkerPool};
 pub use random::{random_plan, RandomPlanner};
 
 // Moved to `balsa-card` so the scoring layer (`balsa_cost::PlanScorer`)

@@ -136,6 +136,15 @@ impl WorkerPool {
     }
 }
 
+/// Realized speedup of a parallel phase — the summed per-item walls
+/// over the phase's wall-clock — or `None` when the pool was serial, in
+/// which case the "speedup" would only measure measurement overhead and
+/// benchmarks suppress the field. Shared by the planner and learning
+/// benchmarks so the suppression rule cannot drift between them.
+pub fn parallel_speedup(total_secs: f64, wall_secs: f64, threads: usize) -> Option<f64> {
+    (threads > 1).then(|| total_secs / wall_secs.max(1e-12))
+}
+
 /// Thread count from `BALSA_PLAN_THREADS` (≥ 1), else the machine's
 /// available parallelism, else 1.
 pub fn env_threads() -> usize {
