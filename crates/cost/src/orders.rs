@@ -104,6 +104,39 @@ impl OrderInterner {
     pub fn intern_cost(&mut self, sc: &SubtreeCost) -> OrderMask {
         self.intern(&sc.sorted_on)
     }
+
+    /// Read-only mask lookup for orders interned ahead of time.
+    ///
+    /// Enumerators that pre-intern a query's whole order universe (so
+    /// the interner can be shared immutably across worker threads) use
+    /// this on their hot path; bit assignments are then fixed by the
+    /// pre-interning pass, so masks are identical no matter which
+    /// thread — or how many — performs the lookup.
+    ///
+    /// # Panics
+    /// Panics if `orders` contains an order that was never interned —
+    /// that means the caller's universe computation missed a
+    /// `sorted_on` source, which would silently corrupt dominance
+    /// checks if tolerated.
+    pub fn mask_of(&self, orders: &[(usize, usize)]) -> OrderMask {
+        let mut mask = 0u128;
+        for o in orders {
+            let id = *self
+                .ids
+                .get(o)
+                .unwrap_or_else(|| panic!("order {o:?} outside the pre-interned universe"));
+            mask |= 1u128 << id;
+        }
+        OrderMask(mask)
+    }
+
+    /// Read-only lookup of a subtree summary's output orders.
+    ///
+    /// # Panics
+    /// As [`OrderInterner::mask_of`].
+    pub fn mask_of_cost(&self, sc: &SubtreeCost) -> OrderMask {
+        self.mask_of(&sc.sorted_on)
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +196,40 @@ mod tests {
         assert!(it.is_empty());
         assert_eq!(it.intern(&[]), OrderMask::EMPTY);
         assert!(OrderMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn mask_of_matches_intern_after_universe_preinterning() {
+        // Pre-intern a universe, then check the read-only lookup agrees
+        // with mutable interning for every subset — the contract the
+        // parallel DP relies on when sharing one interner across
+        // workers.
+        let universe: Vec<(usize, usize)> = (0..5).flat_map(|t| [(t, 0), (t, 3)]).collect();
+        let mut it = OrderInterner::new();
+        it.intern(&universe);
+        let before = it.len();
+        for i in 0..universe.len() {
+            for j in i..universe.len() {
+                let list = &universe[i..=j];
+                assert_eq!(it.mask_of(list), it.intern(list), "{list:?}");
+            }
+        }
+        assert_eq!(it.len(), before, "lookups must not grow the interner");
+        let sc = SubtreeCost {
+            work: 1.0,
+            out_rows: 1.0,
+            sorted_on: vec![universe[2], universe[7]],
+        };
+        assert_eq!(it.mask_of_cost(&sc), it.mask_of(&sc.sorted_on));
+        assert_eq!(it.mask_of(&[]), OrderMask::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the pre-interned universe")]
+    fn mask_of_rejects_unseen_orders() {
+        let mut it = OrderInterner::new();
+        it.intern(&[(0, 0)]);
+        it.mask_of(&[(9, 9)]);
     }
 
     #[test]

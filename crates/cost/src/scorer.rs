@@ -15,9 +15,9 @@
 //! the interface: the beam score is simply the compositional subtree
 //! work, memoizing subset cardinalities per query.
 
-use crate::{CostModel, SubtreeCost};
+use crate::{CostModel, OrderSource, SubtreeCost};
 use balsa_card::{CardEstimator, MemoEstimator};
-use balsa_query::{Plan, Query};
+use balsa_query::{Plan, Query, ScanOp};
 use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
@@ -159,6 +159,84 @@ impl QueryScorer for CostQueryScorer<'_> {
             ext: None,
         }
     }
+
+    /// Batched expert costing: the beam's candidate stream arrives in
+    /// long runs sharing one `(left mask, right mask)` pair (every
+    /// operator and scan variant of one join move is contiguous), so
+    /// each run is costed through one [`crate::PairCoster`] session —
+    /// the pair's cardinality, join keys, and order semantics are
+    /// resolved once per run instead of once per candidate, exactly the
+    /// amortization the DP enumerator already enjoys. Sessions agree
+    /// bit-for-bit with [`CostModel::join_summary`] by contract, so
+    /// this stays a layout change, never a math change (tested).
+    fn score_join_batch(&self, cands: &[JoinCandidate<'_>], out: &mut Vec<ScoredTree>) {
+        let mut i = 0;
+        while i < cands.len() {
+            let Plan::Join { left, right, .. } = cands[i].join else {
+                // Scorers only see joins here; defer the panic to the
+                // per-candidate path for a uniform error.
+                out.push(self.score_join(cands[i].join, cands[i].lc, cands[i].rc));
+                i += 1;
+                continue;
+            };
+            let (lm, rm) = (left.mask(), right.mask());
+            let mut j = i + 1;
+            while j < cands.len() {
+                let Plan::Join {
+                    left: l2,
+                    right: r2,
+                    ..
+                } = cands[j].join
+                else {
+                    break;
+                };
+                if l2.mask() != lm || r2.mask() != rm {
+                    break;
+                }
+                j += 1;
+            }
+            match self.cost.pair_coster(self.query, lm, rm, &self.memo) {
+                Some(coster) => {
+                    for c in &cands[i..j] {
+                        let Plan::Join { op, right, .. } = c.join else {
+                            unreachable!("run members are joins");
+                        };
+                        let right_index_scan = matches!(
+                            &**right,
+                            Plan::Scan {
+                                op: ScanOp::Index,
+                                ..
+                            }
+                        );
+                        let (work, out_rows) =
+                            coster.work_out(*op, &c.lc.sc, &c.rc.sc, right_index_scan);
+                        let sorted_on = match coster.order_source(*op) {
+                            OrderSource::Empty => Vec::new(),
+                            OrderSource::LeftInput => c.lc.sc.sorted_on.clone(),
+                            OrderSource::Pair => coster.pair_sorted_on().to_vec(),
+                        };
+                        out.push(ScoredTree {
+                            score: work,
+                            sc: SubtreeCost {
+                                work,
+                                out_rows,
+                                sorted_on,
+                            },
+                            ext: None,
+                        });
+                    }
+                }
+                // Models without a pair session keep the per-candidate
+                // path — same results, no amortization.
+                None => out.extend(
+                    cands[i..j]
+                        .iter()
+                        .map(|c| self.score_join(c.join, c.lc, c.rc)),
+                ),
+            }
+            i = j;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +296,69 @@ mod tests {
         let direct = model.plan_cost(&q, &j, &Fixed);
         assert!((sj.score - direct).abs() < 1e-9, "{} vs {direct}", sj.score);
         assert_eq!(sj.sc.out_rows, 5.0);
+    }
+
+    /// The batched expert path (per-run [`crate::PairCoster`] sessions)
+    /// must be bit-identical to per-candidate `score_join` — the beam
+    /// relies on this to stay bit-identical under re-chunking.
+    #[test]
+    fn batched_expert_scoring_is_bit_identical() {
+        use crate::{ExpertCostModel, OpWeights};
+        use balsa_card::HistogramEstimator;
+        use balsa_query::workloads::job_workload;
+        use balsa_query::JoinOp;
+        use balsa_storage::{mini_imdb, DataGenConfig};
+
+        let db = Arc::new(mini_imdb(DataGenConfig {
+            scale: 0.02,
+            ..Default::default()
+        }));
+        let w = job_workload(db.catalog(), 5);
+        let est = HistogramEstimator::new(&db);
+        for model in [
+            ExpertCostModel::new(db.clone(), OpWeights::postgres_like()),
+            ExpertCostModel::new(db.clone(), OpWeights::commdb_like()),
+        ] {
+            let scorer = CostScorer::new(&model, &est);
+            let q = w.queries.iter().find(|q| q.num_tables() >= 3).unwrap();
+            let session = scorer.for_query(q);
+            // Candidate stream in the beam's layout: for each join edge,
+            // both orientations, all operators contiguous — runs of a
+            // shared (left mask, right mask) pair with run boundaries
+            // between them.
+            let mut joins: Vec<(Arc<Plan>, ScoredTree, ScoredTree)> = Vec::new();
+            for e in &q.joins {
+                for (l, r) in [(e.left_qt, e.right_qt), (e.right_qt, e.left_qt)] {
+                    let lp = Plan::scan(l, ScanOp::Seq);
+                    let rp = Plan::scan(r, ScanOp::Seq);
+                    let (ls, rs) = (session.score_scan(&lp), session.score_scan(&rp));
+                    for &op in &JoinOp::ALL {
+                        joins.push((
+                            Plan::join(op, lp.clone(), rp.clone()),
+                            ls.clone(),
+                            rs.clone(),
+                        ));
+                    }
+                }
+            }
+            let cands: Vec<JoinCandidate<'_>> = joins
+                .iter()
+                .map(|(j, l, r)| JoinCandidate {
+                    join: j,
+                    lc: l,
+                    rc: r,
+                })
+                .collect();
+            let mut batched = Vec::new();
+            session.score_join_batch(&cands, &mut batched);
+            assert_eq!(batched.len(), cands.len());
+            for (c, b) in cands.iter().zip(&batched) {
+                let single = session.score_join(c.join, c.lc, c.rc);
+                assert_eq!(b.score.to_bits(), single.score.to_bits(), "{}", c.join);
+                assert_eq!(b.sc.work.to_bits(), single.sc.work.to_bits());
+                assert_eq!(b.sc.out_rows.to_bits(), single.sc.out_rows.to_bits());
+                assert_eq!(b.sc.sorted_on, single.sc.sorted_on, "{}", c.join);
+            }
+        }
     }
 }

@@ -23,6 +23,13 @@
 //!   (≤ [`BEAM20_VS_DP_PLAN_RATIO`]) — the learned agent's serving
 //!   path may not regress back to pre-batching/pre-dedup-overhaul
 //!   costs;
+//! * **parallel planning**: when the benchmark ran with
+//!   `planning_threads` > 1, the intra-query-parallel DP row
+//!   (`dp-par-bushy/expert`) must exist, must report a non-null
+//!   `plan_parallel_speedup`, and its `plan_secs_total` must stay ≤
+//!   [`DP_PAR_VS_SERIAL_PLAN_RATIO`] of the serial DP's in the same
+//!   run — parallel DPccp is bit-identical to serial, so a fan-out
+//!   that costs wall instead of saving it is a pure regression;
 //! * **learning**: every trained model's `final_vs_expert_ratio`
 //!   (validation-selected checkpoint vs the expert DP baseline on
 //!   held-out queries) must stay ≤ [`LEARNED_EXPERT_MAX`] for full runs,
@@ -61,6 +68,13 @@ const DP_VS_SUBMASK_PLAN_RATIO: f64 = 0.35;
 /// per-candidate-allocation or per-probe-fingerprint regression drives
 /// this back toward the pre-overhaul ~2.0.
 const BEAM20_VS_DP_PLAN_RATIO: f64 = 1.0;
+/// Max allowed parallel-DP / serial-DP `plan_secs_total` ratio when the
+/// benchmark ran with more than one planning thread. Parallel DPccp is
+/// bit-identical to serial by construction, so its only reason to exist
+/// is speed: same-run, the fan-out (minus the [`balsa_search`] level
+/// cutoff keeping small levels serial) must never cost more wall than
+/// it saves. Checked only when the artifact's `planning_threads` > 1.
+const DP_PAR_VS_SERIAL_PLAN_RATIO: f64 = 1.0;
 /// Max allowed learned / expert held-out ratio for full benchmark runs.
 const LEARNED_EXPERT_MAX: f64 = 1.05;
 /// Max allowed learned / expert ratio in the CI smoke configuration.
@@ -173,6 +187,37 @@ fn main() {
                 _ => failures.push(
                     "BENCH_planner.json: missing beam20-bushy/dp-bushy plan_secs_total".into(),
                 ),
+            }
+            // Parallel-DP gate: only meaningful when the run itself was
+            // parallel (the dp-par row is structurally absent at 1
+            // thread, e.g. the CI thread-matrix's serial leg).
+            let threads = number_after(&planner, "{", "planning_threads").unwrap_or(1.0);
+            if threads > 1.0 {
+                let par_anchor = "\"name\": \"dp-par-bushy/expert\"";
+                let par_total = number_after(&planner, par_anchor, "plan_secs_total");
+                match (par_total, dp_total) {
+                    (Some(par), Some(dp)) if dp > 0.0 => {
+                        let ratio = par / dp;
+                        println!(
+                            "planner: dp-par/dp plan_secs_total ratio {ratio:.4} ({par:.4}s vs {dp:.4}s at {threads:.0} threads, max {DP_PAR_VS_SERIAL_PLAN_RATIO})"
+                        );
+                        if ratio > DP_PAR_VS_SERIAL_PLAN_RATIO {
+                            failures.push(format!(
+                                "parallel-planning regression: dp-par/dp plan_secs_total ratio {ratio:.4} > {DP_PAR_VS_SERIAL_PLAN_RATIO}"
+                            ));
+                        }
+                        if number_after(&planner, par_anchor, "plan_parallel_speedup").is_none() {
+                            failures.push(
+                                "BENCH_planner.json: dp-par row lacks a non-null plan_parallel_speedup".into(),
+                            );
+                        }
+                    }
+                    _ => failures.push(format!(
+                        "BENCH_planner.json: planning_threads={threads:.0} but no dp-par-bushy plan_secs_total"
+                    )),
+                }
+            } else {
+                println!("planner: single-threaded run — dp-par gate skipped");
             }
         }
     }

@@ -37,21 +37,23 @@
 //!    states are dropped *before* they are scored.
 //! 2. *Score* (batched, optionally parallel): all surviving candidates
 //!    are scored through [`balsa_cost::QueryScorer::score_join_batch`],
-//!    partitioned into contiguous chunks across a [`WorkerPool`]
-//!    ([`BeamPlanner::with_pool`], `BALSA_PLAN_THREADS`). Batch scoring
-//!    is bit-identical to per-candidate scoring by contract, and chunk
-//!    results merge in input order, so any thread count produces
-//!    bit-identical plans.
+//!    spread across a [`WorkerPool`] by deterministic work-stealing
+//!    spans ([`WorkerPool::steal_map_spans`]; [`BeamPlanner::with_pool`],
+//!    `BALSA_PLAN_THREADS`). Batch scoring is bit-identical to
+//!    per-candidate scoring by contract (span layout is never a math
+//!    change), and every span's results land at their input index, so
+//!    any thread count — and any steal schedule — produces bit-identical
+//!    plans.
 //! 3. *Assemble + select* (serial): surviving states are materialized,
 //!    sorted, epsilon-filled, and truncated to the beam width.
 
 use crate::candidates::CandidateSpace;
 use crate::pool::WorkerPool;
+use crate::scratch::SharedScratch;
 use crate::{PlannedQuery, Planner, SearchMode, SearchStats};
 use balsa_cost::{JoinCandidate, PlanScorer, ScoredTree};
 use balsa_query::{Plan, Query};
 use balsa_storage::Database;
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashSet;
@@ -161,7 +163,7 @@ pub struct BeamPlanner<'a> {
     width: usize,
     exploration: Option<Exploration>,
     pool: WorkerPool,
-    scratch: Mutex<BeamScratch>,
+    scratch: SharedScratch<BeamScratch>,
 }
 
 impl<'a> BeamPlanner<'a> {
@@ -182,15 +184,15 @@ impl<'a> BeamPlanner<'a> {
             width,
             exploration: None,
             pool: WorkerPool::new(1),
-            scratch: Mutex::new(BeamScratch::default()),
+            scratch: SharedScratch::new(),
         }
     }
 
-    /// Partitions each level's candidate scoring across `pool`
+    /// Spreads each level's candidate scoring across `pool`
     /// (`BALSA_PLAN_THREADS` via [`WorkerPool::from_env`]) — intra-query
-    /// parallelism for serving a single query. Chunks are contiguous and
-    /// merge in input order, so every thread count yields bit-identical
-    /// plans (tested).
+    /// parallelism for serving a single query. Scoring spans are
+    /// work-stolen but every result lands at its input index, so every
+    /// thread count yields bit-identical plans (tested).
     pub fn with_pool(mut self, pool: WorkerPool) -> Self {
         self.pool = pool;
         self
@@ -246,15 +248,8 @@ impl Planner for BeamPlanner<'_> {
         // Reuse the planner's seen-table when it is free; under
         // concurrent `plan` calls fall back to a fresh local table so
         // parallel planning never serializes (as in `DpPlanner`).
-        let mut guard = self.scratch.try_lock();
-        let mut local;
-        let scratch: &mut BeamScratch = match guard {
-            Some(ref mut g) => g,
-            None => {
-                local = BeamScratch::default();
-                &mut local
-            }
-        };
+        let mut guard = self.scratch.acquire();
+        let scratch: &mut BeamScratch = &mut guard;
 
         // Scan candidates are state-independent: score them once per table.
         let scan_variants: Vec<Vec<Tree>> = (0..n)
@@ -264,6 +259,7 @@ impl Planner for BeamPlanner<'_> {
                     .into_iter()
                     .map(|(plan, st)| {
                         stats.candidates += 1;
+                        stats.cost_calls += 1;
                         Tree::new(plan, st)
                     })
                     .collect()
@@ -336,23 +332,27 @@ impl Planner for BeamPlanner<'_> {
             stats.dedup_secs += t_gen.elapsed().as_secs_f64();
 
             // Phase 2: score all survivors — one batched call per
-            // contiguous chunk, chunks across the pool, merged in input
-            // order (bit-identical for any thread count).
+            // work-stolen span, every result published at its input
+            // index (bit-identical for any thread count and steal
+            // schedule, since batch layout is never a math change).
+            // Spans are sized so a level fans out finely enough to
+            // re-balance skew without claim-lock churn on cheap items.
             let t_score = Instant::now();
-            let ranges = self.pool.chunk_ranges(pending.len());
-            let scored: Vec<Vec<ScoredTree>> = self.pool.map(&ranges, |_, &(lo, hi)| {
-                let cands: Vec<JoinCandidate<'_>> = pending[lo..hi]
-                    .iter()
-                    .map(|p| JoinCandidate {
-                        join: &p.plan,
-                        lc: p.lst,
-                        rc: p.rst,
-                    })
-                    .collect();
-                let mut out = Vec::with_capacity(cands.len());
-                session.score_join_batch(&cands, &mut out);
-                out
-            });
+            let span = (pending.len() / (self.pool.threads().max(1) * 8)).max(32);
+            let scored: Vec<ScoredTree> =
+                self.pool
+                    .steal_map_spans(pending.len(), span, |lo, hi, out| {
+                        let cands: Vec<JoinCandidate<'_>> = pending[lo..hi]
+                            .iter()
+                            .map(|p| JoinCandidate {
+                                join: &p.plan,
+                                lc: p.lst,
+                                rc: p.rst,
+                            })
+                            .collect();
+                        session.score_join_batch(&cands, out);
+                    });
+            stats.cost_calls += pending.len();
             stats.score_secs += t_score.elapsed().as_secs_f64();
 
             // Phase 3: rank survivors and materialize only the kept
@@ -369,7 +369,6 @@ impl Planner for BeamPlanner<'_> {
                 "beam stuck on {} (disconnected join graph?)",
                 query.name
             );
-            let scored: Vec<ScoredTree> = scored.into_iter().flatten().collect();
             let totals: Vec<f64> = pending
                 .iter()
                 .zip(&scored)

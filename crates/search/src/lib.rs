@@ -33,6 +33,7 @@ pub mod dp;
 pub mod enumerate;
 pub mod pool;
 pub mod random;
+pub mod scratch;
 
 pub use beam::BeamPlanner;
 pub use candidates::CandidateSpace;
@@ -40,6 +41,7 @@ pub use dp::{DpPlanner, FrontierEntry, SubmaskDpPlanner};
 pub use enumerate::JoinGraph;
 pub use pool::{parallel_speedup, WorkerPool};
 pub use random::{random_plan, RandomPlanner};
+pub use scratch::{ScratchGuard, SharedScratch};
 
 // Moved to `balsa-card` so the scoring layer (`balsa_cost::PlanScorer`)
 // can memoize too; re-exported for backwards compatibility.
@@ -87,6 +89,17 @@ pub struct SearchStats {
     /// Ordered csg–cmp pairs combined by a DP enumerator (0 for beam /
     /// random search).
     pub pairs: usize,
+    /// Actual cost-model invocations: scan summaries plus every
+    /// `work_out` / `join_summary` call that really ran. Unlike
+    /// `candidates` this **excludes** candidates the child-monotone
+    /// early reject pruned before costing, so `candidates -
+    /// cost_calls` measures how much costing the pruning saved. For
+    /// the intra-parallel DP the count depends on how the level was
+    /// partitioned (workers prune against pair-local frontiers, so
+    /// they cost somewhat more than one serial sweep) — it is
+    /// deterministic for a fixed thread count but, by design, not part
+    /// of the parallel-vs-serial bit-identity contract.
+    pub cost_calls: usize,
     /// Seconds spent enumerating pairs (adjacency build + DPccp walk);
     /// 0 where enumeration and costing interleave unmeasurably.
     pub enumerate_secs: f64,

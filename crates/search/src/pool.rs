@@ -8,14 +8,28 @@
 //! workspace needs: an indexed parallel map over a slice, built on
 //! `std::thread::scope` with zero external dependencies.
 //!
-//! **Determinism.** Work is distributed dynamically (an atomic cursor),
-//! but results are written to their item's index, so the output order
-//! is always the input order regardless of scheduling. Callers that
-//! need reproducible randomness seed an RNG per item (e.g. the beam's
-//! exploration RNG is keyed on query id), never per worker — under that
-//! contract a run with `t` threads is bit-identical to the serial run.
+//! **Determinism.** Work is distributed dynamically (an atomic cursor,
+//! or range-splitting work-stealing for span work), but results are
+//! written to their item's index, so the output order is always the
+//! input order regardless of scheduling. Callers that need reproducible
+//! randomness seed an RNG per item (e.g. the beam's exploration RNG is
+//! keyed on query id), never per worker — under that contract a run
+//! with `t` threads is bit-identical to the serial run.
+//!
+//! **Work stealing.** [`WorkerPool::steal_map_spans`] seeds each worker
+//! with one of the [`WorkerPool::chunk_ranges`] and lets idle workers
+//! steal the back half of a victim's remaining range, probing victims
+//! in a fixed order derived from the thief's own index. Contiguous
+//! fixed chunks idle `t - 1` workers whenever per-item cost is skewed
+//! toward one chunk (a DP level whose last pairs carry the biggest
+//! Pareto sets, a beam level whose candidates cluster on one state);
+//! stealing re-balances those tails while every result still lands at
+//! its input index, so the output — and, under the span-invariance
+//! contract below, every byte of it — is identical for any thread
+//! count and any steal schedule.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A fixed-width scoped worker pool.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +92,145 @@ impl WorkerPool {
             lo = hi;
         }
         out
+    }
+
+    /// Deterministic work-stealing map over index spans.
+    ///
+    /// `f(lo, hi, out)` must append **exactly `hi - lo`** results for
+    /// items `lo..hi`, and must be *span-invariant*: running it over
+    /// any partition of `0..len` into ordered spans and concatenating
+    /// must equal one `f(0, len, out)` call (true whenever the per-item
+    /// result does not depend on which span the item landed in — e.g.
+    /// batched scoring whose batch layout never changes the math).
+    /// Under that contract the returned vector is bit-identical to the
+    /// serial run for every thread count.
+    ///
+    /// Scheduling: each worker is seeded with one of the
+    /// [`WorkerPool::chunk_ranges`] and claims up to `max_span` items
+    /// at a time from its range's front; a worker whose range is
+    /// exhausted probes the other workers in a fixed order (`w + 1`,
+    /// `w + 2`, … modulo the worker count) and steals the back half of
+    /// the first non-empty range it finds. Results are published at
+    /// their input index, so the steal schedule never shows in the
+    /// output.
+    ///
+    /// # Panics
+    /// Panics if `max_span == 0`, if `f` appends a wrong count for some
+    /// span, or a worker panics.
+    pub fn steal_map_spans<R, F>(&self, len: usize, max_span: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize, &mut Vec<R>) + Sync,
+    {
+        assert!(max_span >= 1, "max_span must be at least 1");
+        let workers = self.threads.min(len.div_ceil(max_span));
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(len);
+            if len > 0 {
+                f(0, len, &mut out);
+                assert_eq!(out.len(), len, "span fn must produce one result per item");
+            }
+            return out;
+        }
+        // One remaining-range deque per worker, seeded contiguously —
+        // exactly `workers` ranges (not `self.threads`: every queue
+        // must have an owner, and thieves only probe worker queues).
+        let queues: Vec<Mutex<(usize, usize)>> = WorkerPool::new(workers)
+            .chunk_ranges(len)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        debug_assert_eq!(queues.len(), workers);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+        slots.resize_with(len, || None);
+        let results = Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let f = &f;
+                let results = &results;
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, usize, Vec<R>)> = Vec::new();
+                    'work: loop {
+                        // Claim up to `max_span` items from the front of
+                        // our own range.
+                        let claimed = {
+                            let mut own = queues[w].lock().expect("queue not poisoned");
+                            if own.0 < own.1 {
+                                let hi = (own.0 + max_span).min(own.1);
+                                let span = (own.0, hi);
+                                own.0 = hi;
+                                Some(span)
+                            } else {
+                                None
+                            }
+                        };
+                        if let Some((lo, hi)) = claimed {
+                            let mut out = Vec::with_capacity(hi - lo);
+                            f(lo, hi, &mut out);
+                            assert_eq!(
+                                out.len(),
+                                hi - lo,
+                                "span fn must produce one result per item"
+                            );
+                            produced.push((lo, hi, out));
+                            continue;
+                        }
+                        // Own range exhausted: steal the back half of the
+                        // first non-empty victim, probing in the fixed
+                        // order w+1, w+2, … (deterministic per thief; the
+                        // output cannot depend on it regardless).
+                        for k in 1..workers {
+                            let v = (w + k) % workers;
+                            let stolen = {
+                                let mut victim = queues[v].lock().expect("queue not poisoned");
+                                if victim.0 < victim.1 {
+                                    let mid = victim.0 + (victim.1 - victim.0) / 2;
+                                    let back = (mid, victim.1);
+                                    victim.1 = mid;
+                                    Some(back)
+                                } else {
+                                    None
+                                }
+                            };
+                            if let Some(range) = stolen {
+                                if range.0 < range.1 {
+                                    *queues[w].lock().expect("queue not poisoned") = range;
+                                    continue 'work;
+                                }
+                            }
+                        }
+                        break; // every queue drained
+                    }
+                    let mut out = results.lock().expect("no poisoned result slots");
+                    for (lo, _hi, vec) in produced {
+                        for (k, r) in vec.into_iter().enumerate() {
+                            out[lo + k] = Some(r);
+                        }
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index produced exactly once"))
+            .collect()
+    }
+
+    /// Per-item convenience over [`WorkerPool::steal_map_spans`]:
+    /// work-stealing map of `f` over `items`, results in input order.
+    /// `max_span` bounds how many consecutive items one claim covers
+    /// (1 = finest-grained balancing; larger spans amortize claim
+    /// locking for cheap items).
+    pub fn steal_map<T, R, F>(&self, items: &[T], max_span: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.steal_map_spans(items.len(), max_span, |lo, hi, out| {
+            out.extend(items[lo..hi].iter().enumerate().map(|(k, t)| f(lo + k, t)));
+        })
     }
 
     /// Like [`WorkerPool::map`], but every worker thread first builds a
@@ -236,6 +389,99 @@ mod tests {
                 assert!(mx - mn <= 1, "{threads} threads, {len} items: {sizes:?}");
             }
         }
+    }
+
+    /// Property test: the work-stealing map is bit-identical to the
+    /// contiguous `chunk_ranges` partition (and therefore to the serial
+    /// map) under **adversarially skewed** per-item costs — all the
+    /// weight piled onto one chunk, alternating heavy/light items, and
+    /// front-loaded ramps — for a grid of thread counts and span sizes.
+    #[test]
+    fn steal_map_matches_chunked_map_under_skew() {
+        // Per-item "cost" profiles; the work function burns cycles
+        // proportional to the weight so heavy items really do pin
+        // their worker while the others drain and steal.
+        let n = 193usize;
+        let profiles: Vec<Vec<u64>> = vec![
+            // All the work in the last chunk's tail.
+            (0..n).map(|i| if i > n - 8 { 4000 } else { 1 }).collect(),
+            // All the work in the first items.
+            (0..n).map(|i| if i < 8 { 4000 } else { 1 }).collect(),
+            // Alternating heavy/light.
+            (0..n).map(|i| if i % 7 == 0 { 1500 } else { 2 }).collect(),
+            // Monotone ramp.
+            (0..n).map(|i| (i as u64) * 13).collect(),
+        ];
+        let work = |i: usize, &wt: &u64| {
+            // Deterministic spin: output depends only on the item.
+            let mut acc = wt ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            for _ in 0..wt {
+                acc = acc.rotate_left(7) ^ 0xD1B54A32D192ED03;
+            }
+            acc
+        };
+        for weights in &profiles {
+            let serial: Vec<u64> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, w)| work(i, w))
+                .collect();
+            for threads in [1usize, 2, 4, 8] {
+                let pool = WorkerPool::new(threads);
+                // Reference: the fixed contiguous partition.
+                let ranges = pool.chunk_ranges(n);
+                let chunked: Vec<u64> = pool
+                    .map(&ranges, |_, &(lo, hi)| {
+                        weights[lo..hi]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, w)| work(lo + k, w))
+                            .collect::<Vec<u64>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                assert_eq!(chunked, serial, "{threads} threads (chunked)");
+                for span in [1usize, 3, 16, 64] {
+                    let stolen = pool.steal_map(weights, span, work);
+                    assert_eq!(stolen, serial, "{threads} threads, span {span}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steal_map_spans_runs_every_index_exactly_once() {
+        let n = 211usize;
+        for threads in [2usize, 5, 8] {
+            for span in [1usize, 4, 32] {
+                let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                let out = WorkerPool::new(threads).steal_map_spans(n, span, |lo, hi, out| {
+                    assert!(lo < hi && hi <= n && hi - lo <= span);
+                    for (i, c) in counters.iter().enumerate().take(hi).skip(lo) {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        out.push(i * 2);
+                    }
+                });
+                assert_eq!(out, (0..n).map(|i| i * 2).collect::<Vec<_>>());
+                assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn steal_map_spans_edge_cases() {
+        let pool = WorkerPool::new(4);
+        let empty: Vec<usize> = pool.steal_map_spans(0, 8, |_, _, _| unreachable!());
+        assert!(empty.is_empty());
+        let one = pool.steal_map_spans(1, 8, |lo, hi, out| {
+            assert_eq!((lo, hi), (0, 1));
+            out.push(42);
+        });
+        assert_eq!(one, vec![42]);
+        // Serial pool takes the single-call fast path.
+        let serial = WorkerPool::new(1).steal_map(&[1, 2, 3], 2, |_, &x| x * 10);
+        assert_eq!(serial, vec![10, 20, 30]);
     }
 
     #[test]

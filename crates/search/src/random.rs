@@ -124,6 +124,7 @@ impl Planner for RandomPlanner<'_> {
             stats: SearchStats {
                 states: 1,
                 candidates: 1,
+                cost_calls: 1,
                 ..SearchStats::default()
             },
             planning_secs: start.elapsed().as_secs_f64(),
