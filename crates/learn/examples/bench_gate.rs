@@ -72,9 +72,17 @@ const BEAM20_VS_DP_PLAN_RATIO: f64 = 1.0;
 /// benchmark ran with more than one planning thread. Parallel DPccp is
 /// bit-identical to serial by construction, so its only reason to exist
 /// is speed: same-run, the fan-out (minus the [`balsa_search`] level
-/// cutoff keeping small levels serial) must never cost more wall than
-/// it saves. Checked only when the artifact's `planning_threads` > 1.
-const DP_PAR_VS_SERIAL_PLAN_RATIO: f64 = 1.0;
+/// cutoff keeping trivial levels serial) must never cost more wall than
+/// it saves. With the persistent pool (parked workers, so a level
+/// fan-out costs a condvar wake instead of `thread::spawn`s) the ratio
+/// measures ~0.5–0.65 even on a single core, where the dp row's outer
+/// 4-way contention is the only "speedup" available — so the bound is
+/// tightened below break-even. Checked only when the artifact's
+/// `planning_threads` > 1. The companion non-null
+/// `plan_parallel_speedup` check is stricter than it looks: the field
+/// is suppressed unless `parallel_items_total > 0`, i.e. unless DP
+/// levels *actually* fanned out.
+const DP_PAR_VS_SERIAL_PLAN_RATIO: f64 = 0.85;
 /// Max allowed learned / expert held-out ratio for full benchmark runs.
 const LEARNED_EXPERT_MAX: f64 = 1.05;
 /// Max allowed learned / expert ratio in the CI smoke configuration.

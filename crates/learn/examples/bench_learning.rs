@@ -89,6 +89,7 @@ fn run_model(
     cfg: &TrainConfig,
     opt_override: Option<OptimizerKind>,
     baseline_env: &ExecutionEnv,
+    pool: &WorkerPool,
     expert_test_median: f64,
 ) -> ModelRun {
     let t = Instant::now();
@@ -184,7 +185,7 @@ fn run_model(
         &split.test,
         cfg.mode,
         cfg.beam_width,
-        &WorkerPool::new(cfg.planning_threads),
+        pool,
     );
     let final_test_median = median(&final_test);
     let ratio = final_test_median / expert_test_median;
@@ -332,6 +333,7 @@ fn main() {
                 &cfg,
                 opt_override,
                 &baseline_env,
+                &baseline_pool,
                 expert_test_median,
             )
         })
@@ -410,7 +412,8 @@ fn main() {
         );
         let _ = writeln!(out, "      \"truecard_secs\": {},", json_f(b.truecard_secs));
         // Same suppression rule as `bench_planner`'s
-        // `plan_parallel_speedup`: serial runs report null.
+        // `plan_parallel_speedup`: serial runs — and parallel pools
+        // where no execution batch actually fanned out — report null.
         let _ = writeln!(
             out,
             "      \"truecard_parallel_speedup\": {},",
@@ -418,6 +421,7 @@ fn main() {
                 b.truecard_job_secs,
                 b.truecard_secs,
                 cfg.training_threads,
+                b.truecard_jobs,
             ))
         );
         let _ = writeln!(

@@ -130,6 +130,11 @@ pub struct TrainBreakdown {
     /// by [`TrainBreakdown::truecard_secs`] for the realized parallel
     /// speedup.
     pub truecard_job_secs: f64,
+    /// Execution jobs run across the execution pool — the
+    /// `parallel_items` feeding `balsa_search::parallel_speedup`'s
+    /// suppression rule, so a run where nothing fanned out reports
+    /// `null` rather than a noise "speedup".
+    pub truecard_jobs: usize,
 }
 
 /// One point of the learning trajectory.
@@ -453,7 +458,14 @@ pub fn train_loop(
         make_model(cfg.model, &featurizer),
     ));
     let mut best_lat: HashMap<usize, f64> = HashMap::new();
-    let exec_pool = WorkerPool::new(cfg.training_threads);
+    // The pool is persistent: when the two phases are configured to the
+    // same width, share one set of parked workers instead of spawning a
+    // second pool (clones share workers).
+    let exec_pool = if cfg.training_threads == cfg.planning_threads {
+        pool.clone()
+    } else {
+        WorkerPool::new(cfg.training_threads)
+    };
     for iter in 1..=cfg.iterations {
         // Linear epsilon decay: full exploration early, pure greed last.
         let epsilon = if cfg.iterations > 1 {
@@ -502,6 +514,9 @@ pub fn train_loop(
             (r, t0.elapsed().as_secs_f64())
         });
         breakdown.truecard_secs += t_exec.elapsed().as_secs_f64();
+        if exec_pool.threads().min(jobs.len()) > 1 {
+            breakdown.truecard_jobs += jobs.len();
+        }
         let mut lats = Vec::with_capacity(split.train.len());
         let mut timeouts = 0usize;
         let mut fresh_lats = Vec::with_capacity(split.train.len());

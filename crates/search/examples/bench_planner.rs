@@ -11,7 +11,10 @@
 //! plus execution — the same accounting the learning loop uses. The
 //! report also records the measured parallel speedup
 //! (`plan_secs_total / plan_wall_secs`; suppressed as `null` on a
-//! serial pool, where it is pure noise), the threads actually used,
+//! serial pool *or* when nothing actually fanned out —
+//! `parallel_items_total == 0` — where it is pure noise), the mean
+//! persistent-pool dispatch overhead (`pool_dispatch_secs`; null on a
+//! serial pool), the threads actually used,
 //! the DP enumeration breakdown (csg–cmp pairs, Pareto states,
 //! candidate cost calls, enumerate vs cost seconds), and the beam
 //! hot-path breakdown (`score_secs_total` / `dedup_secs_total` —
@@ -60,6 +63,12 @@ struct PlannerReport {
     cost_secs: f64,
     score_secs: f64,
     dedup_secs: f64,
+    /// Work items that actually fanned out on a pool — queries when the
+    /// outer loop is parallel, plus the planners' own intra-query
+    /// fan-outs (`SearchStats::parallel_items`). When this is 0 the
+    /// row's speedup field is suppressed: nothing ran in parallel, so a
+    /// "speedup" would be pure measurement noise.
+    parallel_items: usize,
     /// Threads reported for this row (the outer pool's width, or the
     /// intra-query pool's for the `dp-par` row).
     threads: usize,
@@ -133,6 +142,11 @@ fn run_planner<'a>(
         cost_secs: 0.0,
         score_secs: 0.0,
         dedup_secs: 0.0,
+        parallel_items: if pool.threads().min(w.queries.len()) > 1 {
+            w.queries.len()
+        } else {
+            0
+        },
         threads: pool.threads(),
         speedup_override: None,
     };
@@ -153,6 +167,7 @@ fn run_planner<'a>(
         rep.cost_secs += out.stats.cost_secs;
         rep.score_secs += out.stats.score_secs;
         rep.dedup_secs += out.stats.dedup_secs;
+        rep.parallel_items += out.stats.parallel_items;
     }
     rep.sim_clock_secs = env.elapsed_secs();
     eprintln!(
@@ -182,6 +197,23 @@ fn main() {
     let scorer = CostScorer::new(&model, &est);
     let pool = WorkerPool::from_env();
 
+    // Dispatch-overhead probe: mean wall time of one trivial pool
+    // dispatch — persistent workers woken, a no-op task run, the job
+    // joined. This is the per-level cost the DP's fan-out cutoff
+    // exists to amortize (it used to be a `thread::spawn` per worker,
+    // tens of microseconds each). Null on a serial pool, which never
+    // dispatches.
+    let pool_dispatch_secs = (pool.threads() > 1).then(|| {
+        let items = vec![0u8; 4 * pool.threads()];
+        let _ = pool.map(&items, |i, _| i); // warm: spawn the workers
+        let reps = 4096u32;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = pool.map(&items, |i, _| i);
+        }
+        t.elapsed().as_secs_f64() / f64::from(reps)
+    });
+
     let widths = [5usize, 10, 20];
     let mut reports: Vec<PlannerReport> = Vec::new();
 
@@ -201,7 +233,7 @@ fn main() {
     let dp_par = (pool.threads() > 1).then(|| {
         let outer = WorkerPool::new(1);
         let mut rep = run_planner(&db, &w, &outer, &|| {
-            Box::new(DpPlanner::new(&db, &model, &est, SearchMode::Bushy).with_pool(pool))
+            Box::new(DpPlanner::new(&db, &model, &est, SearchMode::Bushy).with_pool(pool.clone()))
         });
         rep.name = rep.name.replacen("dp-", "dp-par-", 1);
         rep.threads = pool.threads();
@@ -223,10 +255,13 @@ fn main() {
     if let Some(mut rep) = dp_par {
         // The intra-query speedup: serial-DP planning total over the
         // intra-parallel total, same machine, same run. This is the
-        // non-null `plan_parallel_speedup` the CI gate checks.
+        // non-null `plan_parallel_speedup` the CI gate checks. If no
+        // level actually crossed the fan-out cutoff the ratio is two
+        // serial runs racing each other, not a speedup — suppress it
+        // under the same `parallel_items > 0` rule as the plain field.
         let dp_total: f64 = reports[0].plan_secs.iter().sum();
         let par_total: f64 = rep.plan_secs.iter().sum();
-        rep.speedup_override = Some(dp_total / par_total.max(1e-12));
+        rep.speedup_override = (rep.parallel_items > 0).then(|| dp_total / par_total.max(1e-12));
         reports.push(rep);
     }
 
@@ -236,6 +271,14 @@ fn main() {
     let _ = writeln!(out, "  \"workload\": \"job_like\",");
     let _ = writeln!(out, "  \"num_queries\": {},", w.queries.len());
     let _ = writeln!(out, "  \"planning_threads\": {},", pool.threads());
+    let _ = writeln!(
+        out,
+        "  \"pool_dispatch_secs\": {},",
+        match pool_dispatch_secs {
+            Some(s) => format!("{s:.9}"),
+            None => "null".into(),
+        }
+    );
     let _ = writeln!(
         out,
         "  \"wall_secs_total\": {},",
@@ -273,19 +316,30 @@ fn main() {
             "      \"plan_wall_secs\": {},",
             json_f(rep.plan_wall_secs)
         );
-        // With one (outer) thread the "speedup" is pure measurement
-        // noise (~0.99x); `parallel_speedup` suppresses it. Rows whose
-        // parallelism is intra-query instead carry a cross-row override
-        // (serial-DP total / own total).
-        let speedup = match rep
-            .speedup_override
-            .or_else(|| balsa_search::parallel_speedup(plan_total, rep.plan_wall_secs, rep.threads))
-        {
+        // With one (outer) thread, or a parallel pool where nothing
+        // actually fanned out (`parallel_items == 0`), the "speedup" is
+        // pure measurement noise (~0.99x); `parallel_speedup`
+        // suppresses both. Rows whose parallelism is intra-query
+        // instead carry a cross-row override (serial-DP total / own
+        // total), gated on the same fan-out condition.
+        let speedup = match rep.speedup_override.or_else(|| {
+            balsa_search::parallel_speedup(
+                plan_total,
+                rep.plan_wall_secs,
+                rep.threads,
+                rep.parallel_items,
+            )
+        }) {
             Some(s) => json_f(s),
             None => "null".into(),
         };
         let _ = writeln!(out, "      \"plan_parallel_speedup\": {speedup},");
         let _ = writeln!(out, "      \"planning_threads\": {},", rep.threads);
+        let _ = writeln!(
+            out,
+            "      \"parallel_items_total\": {},",
+            rep.parallel_items
+        );
         let _ = writeln!(out, "      \"pairs_total\": {},", rep.pairs);
         let _ = writeln!(out, "      \"states_total\": {},", rep.states);
         let _ = writeln!(out, "      \"candidates_total\": {},", rep.candidates);

@@ -339,6 +339,9 @@ impl Planner for BeamPlanner<'_> {
             // re-balance skew without claim-lock churn on cheap items.
             let t_score = Instant::now();
             let span = (pending.len() / (self.pool.threads().max(1) * 8)).max(32);
+            if self.pool.span_workers(pending.len(), span) > 1 {
+                stats.parallel_items += pending.len();
+            }
             let scored: Vec<ScoredTree> =
                 self.pool
                     .steal_map_spans(pending.len(), span, |lo, hi, out| {

@@ -294,12 +294,14 @@ impl DpScratch {
 
 /// Default parallelization threshold: a level whose estimated combine
 /// work (Σ |left Pareto| × |right Pareto| over its pairs, both
-/// orientations) falls below this runs serially — thread fan-out costs
-/// tens of microseconds, which only heavy levels amortize. Estimated
-/// products, not final candidates (each product expands by the join-op
-/// count), chosen so only levels worth ≥ a few hundred microseconds of
-/// serial costing fan out.
-const DEFAULT_PAR_CUTOFF: usize = 8192;
+/// orientations) falls below this runs serially. With the persistent
+/// [`WorkerPool`] a fan-out costs one lock + condvar wake
+/// (sub-microsecond) instead of per-call `thread::spawn`s (tens of
+/// microseconds each), so the threshold dropped 8192 → 256: only
+/// levels too small to amortize even a wake — a few microseconds of
+/// serial costing — stay serial. Estimated products, not final
+/// candidates (each product expands by the join-op count).
+const DEFAULT_PAR_CUTOFF: usize = 256;
 
 /// The production DP planner: DPccp enumeration + bitmask Pareto sets.
 pub struct DpPlanner<'a> {
@@ -343,10 +345,11 @@ impl<'a> DpPlanner<'a> {
     }
 
     /// Overrides the estimated-work threshold above which a level is
-    /// costed in parallel (default [`DEFAULT_PAR_CUTOFF`]). `0` forces
-    /// every multi-pair level through the parallel path — useful for
-    /// exercising it on small test queries; it never changes results,
-    /// only where the work runs.
+    /// costed in parallel (default [`DEFAULT_PAR_CUTOFF`], now small
+    /// enough that nearly every multi-pair level of a real query fans
+    /// out). `0` forces every multi-pair level through the parallel
+    /// path — useful for exercising it on small test queries; it never
+    /// changes results, only where the work runs.
     pub fn with_parallel_cutoff(mut self, cutoff: usize) -> Self {
         self.par_cutoff = cutoff;
         self
@@ -468,6 +471,7 @@ impl<'a> DpPlanner<'a> {
                             2 * la * lb
                         }))
                     {
+                        stats.parallel_items += bucket.len();
                         let shared: &DpScratch = s;
                         let results = self.pool.steal_map(&bucket, 1, |_, &(a, b)| {
                             let sa = shared.slot_of[&a] as usize;
@@ -550,6 +554,7 @@ impl<'a> DpPlanner<'a> {
                                 .sum()
                         }))
                     {
+                        stats.parallel_items += bucket.len();
                         let shared: &DpScratch = s;
                         let graph = &graph;
                         let results = self.pool.steal_map(&bucket, 1, |_, &mask| {

@@ -114,6 +114,15 @@ pub struct SearchStats {
     /// signatures, deduplicating against the seen-table, and
     /// assembling/sorting states. 0 for DP.
     pub dedup_secs: f64,
+    /// Work items that actually fanned out across a parallel pool —
+    /// DP pairs (bushy) / masks (left-deep) in levels that crossed the
+    /// fan-out cutoff, beam candidates in levels scored on more than
+    /// one participant. 0 on a serial pool and whenever every level
+    /// stayed under the cutoff, which is what lets benchmarks suppress
+    /// a meaningless ~1.0x "speedup" (see [`parallel_speedup`]). Like
+    /// `cost_calls` it is deterministic for a fixed thread count but
+    /// excluded from the parallel-vs-serial bit-identity contract.
+    pub parallel_items: usize,
 }
 
 /// A planner's answer for one query.

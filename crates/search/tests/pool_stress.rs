@@ -1,0 +1,89 @@
+//! Persistent-pool stress: one long-lived [`WorkerPool`] instance is
+//! reused across interleaved `map`, `steal_map_spans`, and *nested*
+//! planner dispatches (an outer query map whose tasks fan DP levels
+//! out on the same pool), and every output must be bit-identical to
+//! fresh-pool and serial runs. This is the reuse half of the pool's
+//! determinism contract — the per-call bit-identity half lives in
+//! `planner_integration.rs` and the unit tests.
+
+use balsa_cost::{CostScorer, ExpertCostModel, OpWeights};
+use balsa_query::workloads::job_workload;
+use balsa_search::{BeamPlanner, DpPlanner, Planner, SearchMode, WorkerPool};
+use balsa_storage::{mini_imdb, DataGenConfig};
+use std::sync::Arc;
+
+fn small_db() -> Arc<balsa_storage::Database> {
+    Arc::new(mini_imdb(DataGenConfig {
+        scale: 0.02,
+        ..Default::default()
+    }))
+}
+
+/// Fingerprint/cost bits from one round: DP plans, beam plans, numbers.
+type RoundBits = (Vec<(u64, u64)>, Vec<(u64, u64)>, Vec<u64>);
+
+/// One "round" of mixed work on `pool`: plan a query slice with the DP
+/// (outer map on the pool, every multi-pair level fanned out on the
+/// *same* pool — cutoff 0 — so the nested inline fallback is
+/// exercised), score the same slice through the beam (span stealing),
+/// and run a plain numeric span map. Returns everything as bits.
+fn mixed_round(
+    pool: &WorkerPool,
+    db: &Arc<balsa_storage::Database>,
+    est: &balsa_card::HistogramEstimator,
+    model: &ExpertCostModel,
+    queries: &[&balsa_query::Query],
+) -> RoundBits {
+    let dp: Vec<(u64, u64)> = pool.map(queries, |_, q| {
+        let planner = DpPlanner::new(db, model, est, SearchMode::Bushy)
+            .with_pool(pool.clone())
+            .with_parallel_cutoff(0);
+        let out = planner.plan(q);
+        (out.plan.fingerprint(), out.cost.to_bits())
+    });
+    let scorer = CostScorer::new(model, est);
+    let beam: Vec<(u64, u64)> = queries
+        .iter()
+        .map(|q| {
+            let out = BeamPlanner::new(db, &scorer, SearchMode::Bushy, 5)
+                .with_pool(pool.clone())
+                .plan(q);
+            (out.plan.fingerprint(), out.cost.to_bits())
+        })
+        .collect();
+    let nums: Vec<u64> = pool.steal_map_spans(397, 7, |lo, hi, out| {
+        for i in lo..hi {
+            out.push((i as u64).wrapping_mul(0x9E3779B97F4A7C15).rotate_left(9));
+        }
+    });
+    (dp, beam, nums)
+}
+
+/// Interleaved reuse across {1,2,4,8} threads: round after round on one
+/// persistent pool must match a fresh pool per round, and every thread
+/// count must match the serial reference bit-for-bit.
+#[test]
+fn persistent_pool_reuse_is_bit_identical_to_fresh_pools() {
+    let db = small_db();
+    let est = balsa_card::HistogramEstimator::new(&db);
+    let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
+    let w = job_workload(db.catalog(), 7);
+    let queries: Vec<&balsa_query::Query> = w.queries.iter().take(12).collect();
+
+    let serial = mixed_round(&WorkerPool::new(1), &db, &est, &model, &queries);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        for round in 0..3 {
+            let reused = mixed_round(&pool, &db, &est, &model, &queries);
+            let fresh = mixed_round(&WorkerPool::new(threads), &db, &est, &model, &queries);
+            assert_eq!(
+                reused, fresh,
+                "{threads} threads, round {round}: reused pool diverged from fresh pool"
+            );
+            assert_eq!(
+                reused, serial,
+                "{threads} threads, round {round}: diverged from serial reference"
+            );
+        }
+    }
+}
