@@ -19,6 +19,9 @@
 //! All simulated time flows into an internal [`SimClock`], providing the
 //! x-axis of the paper's learning-curve figures.
 
+use crate::faults::{
+    ExhaustedPolicy, FaultConfig, FaultInjector, FaultKind, ResilienceStats, RetryPolicy,
+};
 use crate::profile::EngineProfile;
 use crate::sim_clock::SimClock;
 use crate::truecard::{query_key, TrueCards};
@@ -53,6 +56,77 @@ impl std::fmt::Display for EnvError {
 
 impl std::error::Error for EnvError {}
 
+/// Why an execution failed — the taxonomy callers dispatch recovery on.
+///
+/// [`ExecError::Env`] failures are **fatal**: the plan itself is
+/// unexecutable (wrong table cover, cross product, rejected hint shape)
+/// and will fail identically on every retry. [`ExecError::Fault`]
+/// failures are **retryable**: an injected engine fault (transient
+/// error, crash, watchdog-killed hang) killed this *attempt*, and the
+/// same plan may well succeed on the next one — faults are drawn per
+/// `(query, plan, attempt)`, exactly like real engine flakiness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The environment refused the plan — fatal, never retry.
+    Env(EnvError),
+    /// An injected fault killed this attempt — retryable.
+    Fault {
+        /// Which fault class struck.
+        kind: FaultKind,
+        /// Wall seconds the plan provably ran before being killed — an
+        /// honest lower bound on its latency, usable as a §4.3-style
+        /// censoring point when retries are exhausted.
+        ran_secs: f64,
+        /// Extra non-execution wall wasted (engine restart after a
+        /// crash); part of the honest makespan but *not* evidence
+        /// about the plan's latency.
+        overhead_secs: f64,
+    },
+}
+
+impl ExecError {
+    /// Whether retrying the same execution can possibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ExecError::Fault { .. })
+    }
+
+    /// Total wall seconds this failed attempt wasted.
+    pub fn wasted_secs(&self) -> f64 {
+        match self {
+            ExecError::Env(_) => 0.0,
+            ExecError::Fault {
+                ran_secs,
+                overhead_secs,
+                ..
+            } => ran_secs + overhead_secs,
+        }
+    }
+}
+
+impl From<EnvError> for ExecError {
+    fn from(e: EnvError) -> Self {
+        ExecError::Env(e)
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Env(e) => write!(f, "{e}"),
+            ExecError::Fault {
+                kind,
+                ran_secs,
+                overhead_secs,
+            } => write!(
+                f,
+                "injected {kind:?} after {ran_secs:.3}s (+{overhead_secs:.3}s overhead)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Result of one (possibly cached or timed-out) plan execution.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOutcome {
@@ -66,6 +140,10 @@ pub struct ExecOutcome {
     pub timed_out: bool,
     /// Whether the latency came from the plan cache (no time elapsed).
     pub from_cache: bool,
+    /// The injected fault this outcome absorbed without failing, if any
+    /// (a latency spike, or a hang converted into a budget timeout).
+    /// Always `None` when fault injection is off.
+    pub fault: Option<FaultKind>,
 }
 
 /// A recorded execution in the plan cache.
@@ -91,6 +169,45 @@ pub struct SubtreeObs {
     pub censored: bool,
 }
 
+/// What a retried execution ([`ExecutionEnv::execute_labeled_retry_uncharged`])
+/// reports back: the surviving outcome (if any), the resilience
+/// counters, and the honest wall-clock to charge.
+#[derive(Debug, Clone)]
+pub struct RetryReport {
+    /// The labeled outcome: the first successful attempt's, or the
+    /// synthesized censored outcome of an exhausted-but-censored
+    /// execution, or `None` when the sample was dropped.
+    pub outcome: Option<(ExecOutcome, Vec<SubtreeObs>)>,
+    /// Faults absorbed, retries spent, backoff accrued.
+    pub stats: ResilienceStats,
+    /// Execution wall seconds this query's slot occupied (wasted
+    /// attempts + the final attempt; cache hits cost nothing), to be
+    /// charged into the batch makespan. Backoff wall is separate, in
+    /// [`ResilienceStats::backoff_secs_charged`].
+    pub exec_secs: f64,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// A restorable snapshot of the environment's mutable state (plan
+/// cache, cache counters, simulated clock) — what a training checkpoint
+/// must carry so a killed-and-resumed run replays cache hits and
+/// elapsed simulated time bit-identically. Cache entries are sorted by
+/// key, so the snapshot itself is deterministic regardless of hash-map
+/// iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnvSnapshot {
+    /// `(query_key, plan_fingerprint, latency_secs, work)` per cached
+    /// completed run, sorted by `(query_key, plan_fingerprint)`.
+    pub entries: Vec<(u64, u64, f64, f64)>,
+    /// Plan-cache hits so far.
+    pub hits: u64,
+    /// Plan-cache misses so far.
+    pub misses: u64,
+    /// Elapsed simulated seconds.
+    pub clock_secs: f64,
+}
+
 /// The simulated execution environment of one engine.
 pub struct ExecutionEnv {
     truth: Arc<TrueCards>,
@@ -99,6 +216,7 @@ pub struct ExecutionEnv {
     clock: Mutex<SimClock>,
     hits: Mutex<u64>,
     misses: Mutex<u64>,
+    faults: Option<FaultInjector>,
 }
 
 impl ExecutionEnv {
@@ -122,7 +240,25 @@ impl ExecutionEnv {
             clock: Mutex::new(clock),
             hits: Mutex::new(0),
             misses: Mutex::new(0),
+            faults: None,
         }
+    }
+
+    /// Arms deterministic fault injection on this environment. A
+    /// config with every rate zero is equivalent to no injector: not a
+    /// single latency, label, or clock charge changes.
+    pub fn with_faults(mut self, cfg: FaultConfig) -> Self {
+        self.faults = if cfg.is_zero() {
+            None
+        } else {
+            Some(FaultInjector::new(cfg))
+        };
+        self
+    }
+
+    /// The armed fault injector, if chaos is on.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
     }
 
     /// PostgresSim with the paper's default clock — the common fixture.
@@ -184,6 +320,47 @@ impl ExecutionEnv {
         (*self.hits.lock(), *self.misses.lock())
     }
 
+    /// Charges raw wall seconds (e.g. retry backoff) to the clock.
+    pub fn charge_raw(&self, secs: f64) {
+        self.clock.lock().charge_raw(secs);
+    }
+
+    /// Captures the environment's mutable state for a checkpoint.
+    pub fn snapshot(&self) -> EnvSnapshot {
+        let mut entries: Vec<(u64, u64, f64, f64)> = self
+            .cache
+            .lock()
+            .iter()
+            .map(|(&(qk, fp), run)| (qk, fp, run.latency_secs, run.work))
+            .collect();
+        entries.sort_by_key(|a| (a.0, a.1));
+        EnvSnapshot {
+            entries,
+            hits: *self.hits.lock(),
+            misses: *self.misses.lock(),
+            clock_secs: self.clock.lock().seconds(),
+        }
+    }
+
+    /// Restores a [`snapshot`] into this (fresh) environment: the plan
+    /// cache, its counters, and the simulated clock all resume exactly
+    /// where the snapshot was taken.
+    ///
+    /// [`snapshot`]: ExecutionEnv::snapshot
+    pub fn restore(&self, snap: &EnvSnapshot) {
+        let mut cache = self.cache.lock();
+        cache.clear();
+        for &(qk, fp, latency_secs, work) in &snap.entries {
+            cache.insert((qk, fp), CachedRun { latency_secs, work });
+        }
+        drop(cache);
+        *self.hits.lock() = snap.hits;
+        *self.misses.lock() = snap.misses;
+        let mut clock = self.clock.lock();
+        let delta = snap.clock_secs - clock.seconds();
+        clock.charge_raw(delta);
+    }
+
     /// Whether the engine's hint space accepts this plan shape.
     pub fn accepts(&self, plan: &Plan) -> bool {
         self.profile.bushy_hints || plan.is_left_deep()
@@ -234,13 +411,24 @@ impl ExecutionEnv {
         query: &Query,
         plan: &Plan,
         timeout_secs: Option<f64>,
-    ) -> Result<ExecOutcome, EnvError> {
-        let outcome = self.execute_uncharged(query, plan, timeout_secs)?;
-        // Early termination: only the budget's worth of time elapses.
-        if !outcome.from_cache {
-            self.clock.lock().charge_executions(&[outcome.latency_secs]);
+    ) -> Result<ExecOutcome, ExecError> {
+        match self.execute_uncharged(query, plan, timeout_secs) {
+            Ok(outcome) => {
+                // Early termination: only the budget's worth of time elapses.
+                if !outcome.from_cache {
+                    self.clock.lock().charge_executions(&[outcome.latency_secs]);
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                // A faulted attempt still wasted real wall — charge it.
+                let wasted = e.wasted_secs();
+                if wasted > 0.0 {
+                    self.clock.lock().charge_executions(&[wasted]);
+                }
+                Err(e)
+            }
         }
-        Ok(outcome)
     }
 
     /// [`ExecutionEnv::execute`] without the clock charge — the building
@@ -256,10 +444,27 @@ impl ExecutionEnv {
         query: &Query,
         plan: &Plan,
         timeout_secs: Option<f64>,
-    ) -> Result<ExecOutcome, EnvError> {
+    ) -> Result<ExecOutcome, ExecError> {
+        self.execute_attempt_uncharged(query, plan, timeout_secs, 0)
+    }
+
+    /// [`ExecutionEnv::execute_uncharged`] with an explicit attempt
+    /// number — the fault-injection key's third component. Attempt 0 is
+    /// the first try; retries pass 1, 2, … so each attempt draws an
+    /// independent (but pinned) fault. With no injector armed the
+    /// attempt number is inert.
+    pub fn execute_attempt_uncharged(
+        &self,
+        query: &Query,
+        plan: &Plan,
+        timeout_secs: Option<f64>,
+        attempt: u32,
+    ) -> Result<ExecOutcome, ExecError> {
         self.validate(query, plan)?;
         let key = (query_key(query), plan.fingerprint());
 
+        // Cache hits replay a recorded completed run: no engine work is
+        // re-done, so no fault can strike the replay.
         if let Some(run) = self.cache.lock().get(&key).copied() {
             *self.hits.lock() += 1;
             return Ok(self.outcome_of(run, timeout_secs, true));
@@ -278,6 +483,13 @@ impl ExecutionEnv {
         let run = CachedRun { latency_secs, work };
         *self.misses.lock() += 1;
 
+        if let Some(inj) = &self.faults {
+            if let Some(kind) = inj.draw(key.0, latency_hash(plan), attempt) {
+                let draw_key = (key.0, latency_hash(plan), attempt);
+                return self.apply_fault(inj, kind, draw_key, run, timeout_secs);
+            }
+        }
+
         let outcome = self.outcome_of(run, timeout_secs, false);
         // A killed execution only observes that latency exceeded the
         // budget — caching the full latency would let a tiny-budget probe
@@ -286,6 +498,67 @@ impl ExecutionEnv {
             self.cache.lock().insert(key, run);
         }
         Ok(outcome)
+    }
+
+    /// Resolves an injected fault into its observable effect. Nothing a
+    /// fault touches is ever cached: spiked latencies and killed runs
+    /// are one-off observations, and the clean latency was never seen.
+    fn apply_fault(
+        &self,
+        inj: &FaultInjector,
+        kind: FaultKind,
+        draw_key: (u64, u64, u32),
+        run: CachedRun,
+        timeout_secs: Option<f64>,
+    ) -> Result<ExecOutcome, ExecError> {
+        let (qk, plan_hash, attempt) = draw_key;
+        match kind {
+            FaultKind::LatencySpike(factor) => {
+                // The run completes, just slower; the spiked latency is
+                // subject to the normal timeout policy.
+                let spiked = CachedRun {
+                    latency_secs: run.latency_secs * factor,
+                    work: run.work,
+                };
+                let mut outcome = self.outcome_of(spiked, timeout_secs, false);
+                outcome.fault = Some(kind);
+                Ok(outcome)
+            }
+            FaultKind::Hang => match timeout_secs {
+                // The run stops progressing; the budget's watchdog
+                // kills it there — a guaranteed timeout.
+                Some(b) => Ok(ExecOutcome {
+                    latency_secs: b,
+                    work: run.work,
+                    timed_out: true,
+                    from_cache: false,
+                    fault: Some(kind),
+                }),
+                // No budget: the watchdog only fires after the full
+                // latency has been wasted, and reports a kill.
+                None => Err(ExecError::Fault {
+                    kind,
+                    ran_secs: run.latency_secs,
+                    overhead_secs: 0.0,
+                }),
+            },
+            FaultKind::Transient | FaultKind::Crash => {
+                // The engine died partway through the (budget-capped)
+                // run, at a pinned keyed fraction.
+                let cap = timeout_secs.map_or(run.latency_secs, |b| run.latency_secs.min(b));
+                let ran_secs = inj.abort_fraction(qk, plan_hash, attempt) * cap;
+                let overhead_secs = if matches!(kind, FaultKind::Crash) {
+                    inj.config().crash_restart_secs
+                } else {
+                    0.0
+                };
+                Err(ExecError::Fault {
+                    kind,
+                    ran_secs,
+                    overhead_secs,
+                })
+            }
+        }
     }
 
     /// Charges a batch of execution latencies gathered from
@@ -314,9 +587,12 @@ impl ExecutionEnv {
         query: &Query,
         plan: &Arc<Plan>,
         timeout_secs: Option<f64>,
-    ) -> Result<(ExecOutcome, Vec<SubtreeObs>), EnvError> {
+    ) -> Result<(ExecOutcome, Vec<SubtreeObs>), ExecError> {
         let outcome = self.execute(query, plan, timeout_secs)?;
-        Ok((outcome, self.subtree_labels(query, plan, timeout_secs)))
+        Ok((
+            outcome,
+            self.labels_for(query, plan, timeout_secs, &outcome),
+        ))
     }
 
     /// [`ExecutionEnv::execute_labeled`] without the clock charge — see
@@ -327,18 +603,177 @@ impl ExecutionEnv {
         query: &Query,
         plan: &Arc<Plan>,
         timeout_secs: Option<f64>,
-    ) -> Result<(ExecOutcome, Vec<SubtreeObs>), EnvError> {
-        let outcome = self.execute_uncharged(query, plan, timeout_secs)?;
-        Ok((outcome, self.subtree_labels(query, plan, timeout_secs)))
+    ) -> Result<(ExecOutcome, Vec<SubtreeObs>), ExecError> {
+        self.execute_labeled_attempt_uncharged(query, plan, timeout_secs, 0)
+    }
+
+    /// [`ExecutionEnv::execute_labeled_uncharged`] with an explicit
+    /// attempt number for the fault-injection key.
+    pub fn execute_labeled_attempt_uncharged(
+        &self,
+        query: &Query,
+        plan: &Arc<Plan>,
+        timeout_secs: Option<f64>,
+        attempt: u32,
+    ) -> Result<(ExecOutcome, Vec<SubtreeObs>), ExecError> {
+        let outcome = self.execute_attempt_uncharged(query, plan, timeout_secs, attempt)?;
+        Ok((
+            outcome,
+            self.labels_for(query, plan, timeout_secs, &outcome),
+        ))
+    }
+
+    /// Labels an outcome's subtrees, honoring whatever fault the
+    /// outcome absorbed. A latency spike scales every observed subtree
+    /// time by the spike factor (the engine really ran that slowly). A
+    /// hang loses all intermediate instrumentation — the only honest
+    /// observation is that the *root* failed to finish within the
+    /// budget, so a hang yields exactly one label: the root, censored
+    /// at the budget. Claiming uncensored completions for subtrees
+    /// whose true completion the hang may have preceded would fabricate
+    /// evidence.
+    fn labels_for(
+        &self,
+        query: &Query,
+        plan: &Arc<Plan>,
+        timeout_secs: Option<f64>,
+        outcome: &ExecOutcome,
+    ) -> Vec<SubtreeObs> {
+        match outcome.fault {
+            Some(FaultKind::Hang) => vec![SubtreeObs {
+                plan: plan.clone(),
+                latency_secs: outcome.latency_secs,
+                censored: true,
+            }],
+            Some(FaultKind::LatencySpike(f)) => self.subtree_labels(query, plan, timeout_secs, f),
+            _ => self.subtree_labels(query, plan, timeout_secs, 1.0),
+        }
+    }
+
+    /// Executes with bounded retry under `policy`, labeling the final
+    /// outcome — the chaos-hardened entry point `train_loop` uses for
+    /// fine-tuning executions. Uncharged like
+    /// [`ExecutionEnv::execute_uncharged`]: the caller charges
+    /// [`RetryReport::exec_secs`] into its batch makespan and
+    /// [`ResilienceStats::backoff_secs_charged`] as raw wall.
+    ///
+    /// Semantics per attempt:
+    /// * success (including absorbed spikes/hangs and ordinary
+    ///   timeouts) → done, labels as usual;
+    /// * fatal [`ExecError::Env`] → returned immediately, nothing
+    ///   retried;
+    /// * retryable [`ExecError::Fault`] → wasted wall accumulates into
+    ///   `exec_secs`, pinned-jitter backoff accumulates into the stats,
+    ///   and the next attempt draws its own fault.
+    ///
+    /// When every attempt faults, the exhausted policy decides:
+    /// [`ExhaustedPolicy::Censor`] synthesizes a timeout-censored
+    /// outcome at the last attempt's kill point — the plan provably ran
+    /// that long without completing, a valid §4.3 lower bound. Note the
+    /// censoring wall is the *observed kill time*, **not** the caller's
+    /// budget: when the true latency is below the budget, censoring at
+    /// the budget would assert a lower bound the run never evidenced.
+    /// Subtrees are labeled against the kill wall like an ordinary
+    /// timeout (a transient/crash run progresses normally until it
+    /// dies, so completions before the kill are real observations).
+    /// [`ExhaustedPolicy::Drop`] returns no outcome and counts the
+    /// sample as abandoned.
+    ///
+    /// With no injector armed this is bit-identical to one
+    /// [`ExecutionEnv::execute_labeled_uncharged`] call.
+    pub fn execute_labeled_retry_uncharged(
+        &self,
+        query: &Query,
+        plan: &Arc<Plan>,
+        timeout_secs: Option<f64>,
+        policy: &RetryPolicy,
+    ) -> Result<RetryReport, ExecError> {
+        let mut stats = ResilienceStats::default();
+        let mut exec_secs = 0.0;
+        let mut last_ran = 0.0;
+        let mut last_kind = FaultKind::Transient;
+        let max_attempts = policy.max_attempts.max(1);
+        for attempt in 0..max_attempts {
+            match self.execute_labeled_attempt_uncharged(query, plan, timeout_secs, attempt) {
+                Ok((outcome, labels)) => {
+                    if let Some(kind) = outcome.fault {
+                        stats.count_fault(kind);
+                    }
+                    if !outcome.from_cache {
+                        exec_secs += outcome.latency_secs;
+                    }
+                    return Ok(RetryReport {
+                        outcome: Some((outcome, labels)),
+                        stats,
+                        exec_secs,
+                        attempts: attempt + 1,
+                    });
+                }
+                Err(e @ ExecError::Env(_)) => return Err(e),
+                Err(ExecError::Fault {
+                    kind,
+                    ran_secs,
+                    overhead_secs,
+                }) => {
+                    stats.count_fault(kind);
+                    exec_secs += ran_secs + overhead_secs;
+                    last_ran = ran_secs;
+                    last_kind = kind;
+                    if attempt + 1 < max_attempts {
+                        stats.retries += 1;
+                        stats.backoff_secs_charged +=
+                            policy.backoff_secs(query_key(query), attempt);
+                    }
+                }
+            }
+        }
+        // Every attempt faulted.
+        let outcome = match policy.exhausted {
+            ExhaustedPolicy::Censor => {
+                stats.exhausted_censored += 1;
+                // The last attempt provably ran `last_ran` seconds
+                // without completing: an honest censoring point.
+                let work = physical_cost(
+                    self.truth.db(),
+                    query,
+                    plan,
+                    &*self.truth,
+                    &self.profile.weights,
+                    None,
+                );
+                let synthetic = ExecOutcome {
+                    latency_secs: last_ran,
+                    work,
+                    timed_out: true,
+                    from_cache: false,
+                    fault: Some(last_kind),
+                };
+                let labels = self.subtree_labels(query, plan, Some(last_ran), 1.0);
+                Some((synthetic, labels))
+            }
+            ExhaustedPolicy::Drop => {
+                stats.abandoned += 1;
+                None
+            }
+        };
+        Ok(RetryReport {
+            outcome,
+            stats,
+            exec_secs,
+            attempts: max_attempts,
+        })
     }
 
     /// One observation per subtree of `plan` (post-order, root last),
-    /// timed with the run's noise factor and censored at the budget.
+    /// timed with the run's noise factor (scaled by `factor`, 1.0 for a
+    /// clean run, the spike factor for a spiked one) and censored at
+    /// the budget.
     fn subtree_labels(
         &self,
         query: &Query,
         plan: &Arc<Plan>,
         timeout_secs: Option<f64>,
+        factor: f64,
     ) -> Vec<SubtreeObs> {
         let noise = self.noise_factor((query_key(query), latency_hash(plan)));
         let mut works: Vec<(Arc<Plan>, f64)> = Vec::new();
@@ -346,7 +781,8 @@ impl ExecutionEnv {
         works
             .into_iter()
             .map(|(sub, work)| {
-                let raw = self.profile.startup_secs + work * self.profile.time_per_work * noise;
+                let raw = (self.profile.startup_secs + work * self.profile.time_per_work * noise)
+                    * factor;
                 let censored = timeout_secs.is_some_and(|b| raw > b);
                 SubtreeObs {
                     plan: sub,
@@ -420,6 +856,7 @@ impl ExecutionEnv {
             work: run.work,
             timed_out,
             from_cache,
+            fault: None,
         }
     }
 
@@ -494,6 +931,71 @@ mod tests {
             plan = Plan::join(JoinOp::Hash, plan, Plan::scan(t, ScanOp::Seq));
         }
         plan
+    }
+
+    /// Censoring boundary property, across the workload: a budget
+    /// *exactly* equal to the true latency completes (censoring is
+    /// strictly `latency > budget`), and a budget one ulp below
+    /// censors at the budget — with bit-identical verdicts and
+    /// latencies on the uncached and cached paths. Guards the replay
+    /// path from drifting off the fresh path at the boundary, where a
+    /// `>=` vs `>` mismatch would flip labels between cache states.
+    #[test]
+    fn budget_at_exact_latency_is_consistent_across_cache_paths() {
+        let (db, w) = fixture();
+        for q in w.queries.iter().take(12) {
+            let plan = left_deep_hash(q);
+            let l = ExecutionEnv::postgres_sim(db.clone())
+                .execute(q, &plan, None)
+                .unwrap()
+                .latency_secs;
+
+            // budget == L, uncached: completes at exactly L.
+            let env = ExecutionEnv::postgres_sim(db.clone());
+            let (out, labels) = env.execute_labeled(q, &plan, Some(l)).unwrap();
+            assert!(!out.from_cache && !out.timed_out, "{}", q.name);
+            assert_eq!(out.latency_secs.to_bits(), l.to_bits());
+            let root = |ls: &[SubtreeObs]| {
+                ls.iter()
+                    .find(|s| s.plan.fingerprint() == plan.fingerprint())
+                    .expect("root labeled")
+                    .clone()
+            };
+            assert!(
+                !root(&labels).censored,
+                "{}: root censored at budget==L",
+                q.name
+            );
+
+            // budget == L, cached replay: identical verdict and bits.
+            let (hit, labels2) = env.execute_labeled(q, &plan, Some(l)).unwrap();
+            assert!(hit.from_cache && !hit.timed_out, "{}", q.name);
+            assert_eq!(hit.latency_secs.to_bits(), l.to_bits());
+            assert!(!root(&labels2).censored);
+            assert_eq!(
+                root(&labels).latency_secs.to_bits(),
+                root(&labels2).latency_secs.to_bits()
+            );
+
+            // One ulp below L: both paths censor at the budget.
+            let below = f64::from_bits(l.to_bits() - 1);
+            let fresh = ExecutionEnv::postgres_sim(db.clone());
+            let (cut, cut_labels) = fresh.execute_labeled(q, &plan, Some(below)).unwrap();
+            assert!(!cut.from_cache && cut.timed_out, "{}", q.name);
+            assert_eq!(cut.latency_secs.to_bits(), below.to_bits());
+            assert!(root(&cut_labels).censored);
+            // Killed runs are never cached; seed the cache with the
+            // completed run, then replay under the same sub-L budget.
+            fresh.execute(q, &plan, None).unwrap();
+            let (cut2, cut2_labels) = fresh.execute_labeled(q, &plan, Some(below)).unwrap();
+            assert!(cut2.from_cache && cut2.timed_out, "{}", q.name);
+            assert_eq!(cut2.latency_secs.to_bits(), below.to_bits());
+            assert!(root(&cut2_labels).censored);
+            assert_eq!(
+                root(&cut_labels).latency_secs.to_bits(),
+                root(&cut2_labels).latency_secs.to_bits()
+            );
+        }
     }
 
     #[test]
@@ -598,6 +1100,10 @@ mod tests {
                     env.validate(q, &bushy).unwrap_err(),
                     EnvError::BushyHintRejected
                 );
+                assert_eq!(
+                    env.execute(q, &bushy, None).unwrap_err(),
+                    ExecError::Env(EnvError::BushyHintRejected)
+                );
             }
         }
     }
@@ -609,10 +1115,9 @@ mod tests {
         let q = &w.queries[0];
         // Covers only one table.
         let partial = Plan::scan(0, ScanOp::Seq);
-        assert!(matches!(
-            env.execute(q, &partial, None),
-            Err(EnvError::InvalidPlan(_))
-        ));
+        let err = env.execute(q, &partial, None).unwrap_err();
+        assert!(matches!(err, ExecError::Env(EnvError::InvalidPlan(_))));
+        assert!(!err.is_retryable(), "invalid plans are fatal, not flaky");
     }
 
     #[test]
@@ -661,6 +1166,375 @@ mod tests {
         }
         // Cheap subtrees (single scans) finished within the budget.
         assert!(labels.iter().any(|l| !l.censored));
+    }
+
+    /// Satellite: the timeout boundary is pinned. A budget **exactly
+    /// equal** to the true latency does not censor (`timed_out` uses a
+    /// strict `latency > budget`), and the cached path — which
+    /// re-derives the outcome from the recorded run — agrees with the
+    /// uncached path bit-for-bit at and around the boundary.
+    #[test]
+    fn budget_equal_to_latency_is_consistent_on_cached_and_uncached_paths() {
+        let (db, w) = fixture();
+        for q in w.queries.iter().take(5) {
+            let p = left_deep_hash(q);
+            let full = ExecutionEnv::postgres_sim(db.clone())
+                .execute(q, &p, None)
+                .unwrap();
+            let exact = full.latency_secs;
+
+            // Uncached path, budget exactly the latency: completes.
+            let env = ExecutionEnv::postgres_sim(db.clone());
+            let at = env.execute(q, &p, Some(exact)).unwrap();
+            assert!(!at.timed_out, "budget == latency must not censor");
+            assert_eq!(at.latency_secs, exact);
+            assert!(!at.from_cache);
+
+            // Completed run is cached; the cached re-derivation at the
+            // same boundary must agree exactly.
+            let cached_at = env.execute(q, &p, Some(exact)).unwrap();
+            assert!(cached_at.from_cache);
+            assert!(!cached_at.timed_out);
+            assert_eq!(cached_at.latency_secs, exact);
+
+            // One ULP below the latency censors — on both paths.
+            let below = f64::from_bits(exact.to_bits() - 1);
+            let cached_below = env.execute(q, &p, Some(below)).unwrap();
+            assert!(cached_below.from_cache && cached_below.timed_out);
+            assert_eq!(cached_below.latency_secs, below);
+            let fresh_below = ExecutionEnv::postgres_sim(db.clone())
+                .execute(q, &p, Some(below))
+                .unwrap();
+            assert!(!fresh_below.from_cache && fresh_below.timed_out);
+            assert_eq!(fresh_below.latency_secs, below);
+        }
+    }
+
+    fn chaos_cfg(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            transient: 0.15,
+            crash: 0.1,
+            spike: 0.1,
+            hang: 0.1,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Executes every fixture query on a fresh env with the given fault
+    /// config, collecting a signature of each result.
+    fn run_all(db: &Arc<Database>, w: &balsa_query::Workload, cfg: FaultConfig) -> Vec<String> {
+        let env = ExecutionEnv::postgres_sim(db.clone()).with_faults(cfg);
+        w.queries
+            .iter()
+            .map(|q| {
+                let p = left_deep_hash(q);
+                match env.execute(q, &p, Some(1.0)) {
+                    Ok(o) => format!(
+                        "ok {} {} {:?}",
+                        o.latency_secs.to_bits(),
+                        o.timed_out,
+                        o.fault
+                    ),
+                    Err(e) => format!("err {e}"),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_fault_config_is_bit_identical_to_no_injector() {
+        let (db, w) = fixture();
+        let clean = run_all(&db, &w, FaultConfig::default());
+        let env = ExecutionEnv::postgres_sim(db.clone());
+        let reference: Vec<String> = w
+            .queries
+            .iter()
+            .map(|q| {
+                let p = left_deep_hash(q);
+                let o = env.execute(q, &p, Some(1.0)).unwrap();
+                format!(
+                    "ok {} {} {:?}",
+                    o.latency_secs.to_bits(),
+                    o.timed_out,
+                    o.fault
+                )
+            })
+            .collect();
+        assert_eq!(clean, reference);
+    }
+
+    #[test]
+    fn chaos_is_reproducible_and_seed_sensitive() {
+        let (db, w) = fixture();
+        let a = run_all(&db, &w, chaos_cfg(7));
+        let b = run_all(&db, &w, chaos_cfg(7));
+        assert_eq!(a, b, "same chaos seed must reproduce bit-for-bit");
+        let c = run_all(&db, &w, chaos_cfg(8));
+        assert_ne!(a, c, "different chaos seed must differ somewhere");
+        // With these rates over the whole workload, chaos actually bit.
+        assert!(
+            a.iter().any(|s| s.starts_with("err") || s.contains("Some")),
+            "chaos config injected nothing: {a:?}"
+        );
+    }
+
+    #[test]
+    fn hang_with_budget_is_guaranteed_timeout_and_uncached() {
+        let (db, w) = fixture();
+        let cfg = FaultConfig {
+            seed: 1,
+            hang: 1.0,
+            ..FaultConfig::default()
+        };
+        let env = ExecutionEnv::postgres_sim(db).with_faults(cfg);
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let out = env.execute(q, &p, Some(1e12)).unwrap();
+        assert!(out.timed_out && out.fault == Some(FaultKind::Hang));
+        assert_eq!(out.latency_secs, 1e12);
+        // Nothing was cached: a re-execution draws a fresh hang, not a
+        // cached replay.
+        assert_eq!(env.cache_stats(), (0, 1));
+        // Without a budget the watchdog reports a retryable kill after
+        // the full latency.
+        let err = env.execute(q, &p, None).unwrap_err();
+        assert!(err.is_retryable());
+        assert!(matches!(
+            err,
+            ExecError::Fault {
+                kind: FaultKind::Hang,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn spike_scales_latency_and_labels_consistently() {
+        let (db, w) = fixture();
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let clean = ExecutionEnv::postgres_sim(db.clone())
+            .execute(q, &p, None)
+            .unwrap();
+        let cfg = FaultConfig {
+            seed: 1,
+            spike: 1.0,
+            spike_factor: 3.0,
+            ..FaultConfig::default()
+        };
+        let env = ExecutionEnv::postgres_sim(db).with_faults(cfg);
+        let (out, labels) = env.execute_labeled(q, &p, None).unwrap();
+        assert_eq!(out.fault, Some(FaultKind::LatencySpike(3.0)));
+        assert!((out.latency_secs - clean.latency_secs * 3.0).abs() < 1e-12);
+        let root = labels.last().unwrap();
+        assert!(
+            (root.latency_secs - out.latency_secs).abs() < 1e-9,
+            "spiked root label must match the spiked outcome"
+        );
+        // The spiked observation was not cached as truth.
+        assert_eq!(env.cache_stats().0, 0);
+    }
+
+    #[test]
+    fn transient_and_crash_report_honest_wasted_wall() {
+        let (db, w) = fixture();
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let clean = ExecutionEnv::postgres_sim(db.clone())
+            .execute(q, &p, None)
+            .unwrap();
+        for (cfg, expect_overhead) in [
+            (
+                FaultConfig {
+                    seed: 2,
+                    transient: 1.0,
+                    ..FaultConfig::default()
+                },
+                false,
+            ),
+            (
+                FaultConfig {
+                    seed: 2,
+                    crash: 1.0,
+                    crash_restart_secs: 0.25,
+                    ..FaultConfig::default()
+                },
+                true,
+            ),
+        ] {
+            let env = ExecutionEnv::postgres_sim(db.clone()).with_faults(cfg);
+            let err = env.execute(q, &p, None).unwrap_err();
+            let ExecError::Fault {
+                ran_secs,
+                overhead_secs,
+                ..
+            } = err
+            else {
+                panic!("expected fault, got {err:?}");
+            };
+            assert!(ran_secs > 0.0 && ran_secs < clean.latency_secs);
+            assert_eq!(overhead_secs, if expect_overhead { 0.25 } else { 0.0 });
+            // The wasted wall was charged to the clock.
+            assert!((env.elapsed_secs() - (ran_secs + overhead_secs)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transients_within_attempt_budget() {
+        let (db, w) = fixture();
+        // transient=0.5: over many (query, attempt) draws some first
+        // attempts fault and some retries clear.
+        let cfg = FaultConfig {
+            seed: 5,
+            transient: 0.5,
+            ..FaultConfig::default()
+        };
+        let env = ExecutionEnv::postgres_sim(db.clone()).with_faults(cfg);
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        };
+        let mut recovered = 0;
+        for q in &w.queries {
+            let p = left_deep_hash(q);
+            let report = env
+                .execute_labeled_retry_uncharged(q, &p, None, &policy)
+                .unwrap();
+            let (outcome, labels) = report.outcome.expect("censor policy keeps every sample");
+            assert!(!labels.is_empty());
+            if report.stats.exhausted_censored == 1 {
+                // All six attempts faulted — the sample survives as a
+                // censored lower bound, checked in detail elsewhere.
+                assert!(outcome.timed_out);
+                continue;
+            }
+            if report.attempts > 1 {
+                recovered += 1;
+                assert!(report.stats.retries >= 1);
+                assert!(report.stats.backoff_secs_charged > 0.0);
+                assert!(
+                    report.exec_secs > outcome.latency_secs,
+                    "wasted attempts must add wall"
+                );
+            }
+            // The surviving outcome is the clean latency — faults never
+            // corrupt a successful attempt's observation.
+            let clean = ExecutionEnv::postgres_sim(db.clone())
+                .execute(q, &p, None)
+                .unwrap();
+            assert_eq!(outcome.latency_secs, clean.latency_secs);
+        }
+        assert!(recovered > 0, "no query needed a retry — rates too low");
+    }
+
+    #[test]
+    fn exhausted_retries_censor_at_kill_point_or_drop() {
+        let (db, w) = fixture();
+        let cfg = FaultConfig {
+            seed: 3,
+            transient: 1.0,
+            ..FaultConfig::default()
+        };
+        let env = ExecutionEnv::postgres_sim(db.clone()).with_faults(cfg);
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let clean = ExecutionEnv::postgres_sim(db.clone())
+            .execute(q, &p, None)
+            .unwrap();
+
+        let censor = RetryPolicy {
+            max_attempts: 3,
+            exhausted: ExhaustedPolicy::Censor,
+            ..RetryPolicy::default()
+        };
+        let report = env
+            .execute_labeled_retry_uncharged(q, &p, None, &censor)
+            .unwrap();
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.stats.faults_injected, 3);
+        assert_eq!(report.stats.retries, 2);
+        assert_eq!(report.stats.exhausted_censored, 1);
+        let (outcome, labels) = report.outcome.expect("censor policy keeps the sample");
+        assert!(outcome.timed_out, "exhausted sample is timeout-censored");
+        // Censored at the observed kill wall — an honest lower bound,
+        // strictly below the true latency (never at an unevidenced
+        // budget).
+        assert!(outcome.latency_secs > 0.0 && outcome.latency_secs < clean.latency_secs);
+        let root = labels.last().unwrap();
+        assert!(root.censored);
+        assert_eq!(root.latency_secs, outcome.latency_secs);
+
+        let drop_policy = RetryPolicy {
+            max_attempts: 3,
+            exhausted: ExhaustedPolicy::Drop,
+            ..RetryPolicy::default()
+        };
+        let report = env
+            .execute_labeled_retry_uncharged(q, &p, None, &drop_policy)
+            .unwrap();
+        assert!(report.outcome.is_none());
+        assert_eq!(report.stats.abandoned, 1);
+        assert!(report.exec_secs > 0.0, "dropped attempts still cost wall");
+    }
+
+    #[test]
+    fn retry_without_injector_matches_plain_labeled_execution() {
+        let (db, w) = fixture();
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let env_a = ExecutionEnv::postgres_sim(db.clone());
+        let env_b = ExecutionEnv::postgres_sim(db);
+        let (plain, plain_labels) = env_a.execute_labeled_uncharged(q, &p, Some(1.0)).unwrap();
+        let report = env_b
+            .execute_labeled_retry_uncharged(q, &p, Some(1.0), &RetryPolicy::default())
+            .unwrap();
+        let (retried, retry_labels) = report.outcome.unwrap();
+        assert_eq!(plain.latency_secs.to_bits(), retried.latency_secs.to_bits());
+        assert_eq!(plain.timed_out, retried.timed_out);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.stats, ResilienceStats::default());
+        assert_eq!(
+            report.exec_secs.to_bits(),
+            if retried.from_cache {
+                0f64.to_bits()
+            } else {
+                retried.latency_secs.to_bits()
+            }
+        );
+        assert_eq!(plain_labels.len(), retry_labels.len());
+        for (a, b) in plain_labels.iter().zip(&retry_labels) {
+            assert_eq!(a.latency_secs.to_bits(), b.latency_secs.to_bits());
+            assert_eq!(a.censored, b.censored);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_cache_counters_and_clock() {
+        let (db, w) = fixture();
+        let env = ExecutionEnv::postgres_sim(db.clone());
+        for q in w.queries.iter().take(4) {
+            let p = left_deep_hash(q);
+            env.execute(q, &p, None).unwrap();
+            env.execute(q, &p, None).unwrap(); // cache hit
+        }
+        env.charge_raw(1.5);
+        let snap = env.snapshot();
+        assert_eq!(snap.entries.len(), 4);
+        assert_eq!((snap.hits, snap.misses), (4, 4));
+
+        let fresh = ExecutionEnv::postgres_sim(db);
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap, "restore must round-trip exactly");
+        assert_eq!(fresh.elapsed_secs().to_bits(), env.elapsed_secs().to_bits());
+        // Restored cache serves hits: re-executing a snapshotted plan
+        // charges no time and returns the recorded latency.
+        let q = &w.queries[0];
+        let p = left_deep_hash(q);
+        let before = fresh.elapsed_secs();
+        let out = fresh.execute(q, &p, None).unwrap();
+        assert!(out.from_cache);
+        assert_eq!(fresh.elapsed_secs(), before);
     }
 
     #[test]

@@ -32,14 +32,26 @@
 //! 5. [`SimClock`] accounts simulated wall-clock time (execution under a
 //!    parallelism factor, planning, and model-update time), providing the
 //!    x-axes of the paper's learning-curve figures (Figs 7, 8).
+//! 6. [`faults`] injects deterministic chaos — transient errors, engine
+//!    crashes, latency spikes, hangs — from a pinned stream keyed on
+//!    `(query, plan, attempt)`, and [`ExecutionEnv`] exposes retryable
+//!    vs. fatal failures ([`ExecError`]) plus a bounded-retry entry
+//!    point so the learning loop can be hardened against all of them
+//!    without losing bit-reproducibility.
 
 pub mod env;
 pub mod exec;
+pub mod faults;
 pub mod profile;
 pub mod sim_clock;
 pub mod truecard;
 
-pub use env::{EnvError, ExecOutcome, ExecutionEnv, SubtreeObs};
+pub use env::{
+    EnvError, EnvSnapshot, ExecError, ExecOutcome, ExecutionEnv, RetryReport, SubtreeObs,
+};
+pub use faults::{
+    ExhaustedPolicy, FaultConfig, FaultInjector, FaultKind, ResilienceStats, RetryPolicy,
+};
 pub use profile::EngineProfile;
 pub use sim_clock::SimClock;
 pub use truecard::{query_key, TrueCards};

@@ -35,6 +35,15 @@
 //!   held-out queries) must stay ≤ [`LEARNED_EXPERT_MAX`] for full runs,
 //!   or the looser [`LEARNED_EXPERT_MAX_SMOKE`] for `BALSA_SMOKE` runs
 //!   (tiny scale, 2 iterations — noisier by construction);
+//! * **chaos resilience**: when the CI chaos leg wrote
+//!   `BENCH_learning_chaos.json` (same `bench_learning` smoke with
+//!   `BALSA_FAULTS` armed), every model's learned/expert held-out ratio
+//!   under injected faults must stay within [`CHAOS_VS_CLEAN_MAX`] of
+//!   the same run's fault-free ratio, and the chaos leg must actually
+//!   have injected faults (a zero count means the wiring is broken and
+//!   the leg proves nothing). Skipped with a message when no chaos
+//!   artifact exists or when it predates the resilience block — never
+//!   silently treated as passing zeros;
 //! * **training speed**: the tree-conv batched fit's same-data wall
 //!   (`train_batched_secs`, measured by `bench_learning` against the
 //!   per-sample reference path on the run's own experience population)
@@ -91,6 +100,12 @@ const LEARNED_EXPERT_MAX_SMOKE: f64 = 1.60;
 /// the batched path must never be slower than the reference it
 /// replaces (measured ~0.3–0.5 at the default batch of 64).
 const TRAIN_BATCHED_VS_PER_SAMPLE_MAX: f64 = 1.0;
+/// Max allowed (chaos learned/expert ratio) / (fault-free ratio):
+/// retries, honest censoring, and the expert fallback must keep ~5%
+/// injected faults from costing more than 25% of final plan quality.
+/// Same-run (both artifacts come from the same CI job on the same
+/// machine), so runner speed cancels.
+const CHAOS_VS_CLEAN_MAX: f64 = 1.25;
 
 /// Finds `"key": <value>` at or after `anchor` (the first occurrence of
 /// `anchor` in `text`) and parses the value token.
@@ -284,6 +299,67 @@ fn main() {
                 }
             }
         }
+    }
+
+    // ---- Chaos gate ----
+    // Same-run comparison: the CI chaos leg re-runs the learning smoke
+    // with BALSA_FAULTS armed and writes BENCH_learning_chaos.json next
+    // to the fault-free BENCH_learning.json, so the two artifacts share
+    // workload, seed, and machine — the only variable is the injected
+    // faults. A skip is printed, never silently scored as passing.
+    match std::fs::read_to_string("BENCH_learning_chaos.json") {
+        Err(_) => {
+            println!("chaos: no BENCH_learning_chaos.json in this run — chaos gate skipped");
+        }
+        Ok(chaos) if !chaos.contains("\"resilience\":") => {
+            println!(
+                "chaos: BENCH_learning_chaos.json lacks a resilience block (artifact predates the robustness layer) — chaos gate skipped"
+            );
+        }
+        Ok(chaos) => match std::fs::read_to_string("BENCH_learning.json") {
+            Err(e) => failures.push(format!(
+                "chaos gate: BENCH_learning_chaos.json exists but the fault-free BENCH_learning.json is unreadable: {e}"
+            )),
+            Ok(clean) => {
+                let mut checked = 0;
+                let mut injected_total = 0.0;
+                for model in ["linear", "tree_conv"] {
+                    let anchor = format!("\"model\": \"{model}\"");
+                    let chaos_ratio = number_after(&chaos, &anchor, "final_vs_expert_ratio");
+                    let clean_ratio = number_after(&clean, &anchor, "final_vs_expert_ratio");
+                    let (Some(c), Some(f)) = (chaos_ratio, clean_ratio) else {
+                        continue;
+                    };
+                    checked += 1;
+                    injected_total +=
+                        number_after(&chaos, &anchor, "faults_injected").unwrap_or(0.0);
+                    if f <= 0.0 {
+                        failures.push(format!(
+                            "chaos gate: {model} fault-free ratio {f} is not positive — cannot form a degradation ratio"
+                        ));
+                        continue;
+                    }
+                    let rel = c / f;
+                    println!(
+                        "chaos[{model}]: learned/expert ratio {c:.4} under faults vs {f:.4} fault-free -> {rel:.4}x (max {CHAOS_VS_CLEAN_MAX})"
+                    );
+                    if rel > CHAOS_VS_CLEAN_MAX {
+                        failures.push(format!(
+                            "chaos regression: {model} learned/expert ratio degrades {rel:.4}x under injected faults > {CHAOS_VS_CLEAN_MAX} ({c:.4} vs {f:.4})"
+                        ));
+                    }
+                }
+                if checked == 0 {
+                    failures.push(
+                        "chaos gate: chaos and fault-free artifacts share no model entries".into(),
+                    );
+                } else if injected_total == 0.0 {
+                    failures.push(
+                        "chaos gate: resilience blocks report zero injected faults — the chaos leg exercised nothing".into(),
+                    );
+                }
+            }
+        },
     }
 
     if failures.is_empty() {

@@ -30,9 +30,20 @@
 //! * `BALSA_OPTIMIZER=sgd|momentum|adam` — override the per-family
 //!   default update rule (tree-conv defaults to Adam, linear to plain
 //!   SGD).
+//! * `BALSA_FAULTS=transient=0.02,crash=0.01,...` — arm chaos injection
+//!   on the *training* environments (never the frozen baseline/scoring
+//!   env). With faults armed the artifact is written to
+//!   `BENCH_learning_chaos.json` so the fault-free recording is never
+//!   overwritten, a `faults` block records the rates, and each model
+//!   entry carries a `resilience` block (faults injected, retries,
+//!   abandoned samples, fallback iterations, backoff wall charged).
+//!
+//! All three env specs get the `BALSA_PLAN_THREADS` treatment: a
+//! garbled value warns loudly on stderr and falls back to the default —
+//! never a silent different run.
 
 use balsa_card::HistogramEstimator;
-use balsa_engine::{ExecutionEnv, SimClock};
+use balsa_engine::{ExecutionEnv, FaultConfig, ResilienceStats, SimClock};
 use balsa_learn::{
     evaluate_expert_baseline, evaluate_learned, median, train_loop, Featurizer, IterationStats,
     LabelSource, ModelKind, OptimizerKind, SgdConfig, TrainBreakdown, TrainConfig, TreeConvConfig,
@@ -77,6 +88,7 @@ struct ModelRun {
     train_batched_secs: Option<f64>,
     train_per_sample_secs: Option<f64>,
     trajectory: Vec<IterationStats>,
+    resilience: ResilienceStats,
 }
 
 // Like `evaluate_learned`, the argument list is the full run context.
@@ -88,6 +100,7 @@ fn run_model(
     split: &Split,
     cfg: &TrainConfig,
     opt_override: Option<OptimizerKind>,
+    faults: Option<FaultConfig>,
     baseline_env: &ExecutionEnv,
     pool: &WorkerPool,
     expert_test_median: f64,
@@ -150,15 +163,20 @@ fn run_model(
     // the other's plan cache or clock; the true-cardinality oracle is
     // exact ground truth, so sharing it across variants only avoids
     // re-materializing the same joins.
-    let env = ExecutionEnv::with_truth(
+    let mut env = ExecutionEnv::with_truth(
         baseline_env.truth_arc(),
         *baseline_env.profile(),
         SimClock::paper_default(),
     );
+    // Chaos is armed on the training env only: the baseline and final
+    // scoring measure plan quality, not luck.
+    if let Some(fc) = faults {
+        env = env.with_faults(fc);
+    }
     let outcome = train_loop(db, &env, w, &split.clone(), &cfg);
     for it in &outcome.trajectory {
         eprintln!(
-            "[{}] iter {}: sim {:.2}h  train median {:.4}s  val median {:.4}s  val geo {:.4}s  test median {:.4}s  ({} timeouts, {} real exp, mse {:.3})",
+            "[{}] iter {}: sim {:.2}h  train median {:.4}s  val median {:.4}s  val geo {:.4}s  test median {:.4}s  ({} timeouts, {} real exp, mse {:.3}, {} faults, {} retries, {} abandoned{})",
             kind.as_str(),
             it.iteration,
             it.sim_hours,
@@ -168,7 +186,11 @@ fn run_model(
             it.test_median_secs,
             it.timeouts,
             it.buffer_real,
-            it.fit_mse
+            it.fit_mse,
+            it.faults,
+            it.retries,
+            it.abandoned,
+            if it.fallback { ", expert fallback" } else { "" }
         );
     }
     // Final score: the validation-selected checkpoint on held-out
@@ -237,25 +259,42 @@ fn run_model(
         train_batched_secs,
         train_per_sample_secs,
         trajectory: outcome.trajectory,
+        resilience: outcome.resilience,
     }
 }
 
 fn main() {
     let t_total = Instant::now();
     let smoke = std::env::var("BALSA_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
-    let kinds: Vec<ModelKind> = match std::env::var("BALSA_MODEL").as_deref() {
-        Ok("linear") => vec![ModelKind::Linear],
-        Ok("tree_conv") => vec![ModelKind::TreeConv],
-        Ok("both") | Err(_) => vec![ModelKind::Linear, ModelKind::TreeConv],
-        Ok(other) => panic!("unknown BALSA_MODEL {other:?} (linear|tree_conv|both)"),
+    // Env specs get the `BALSA_PLAN_THREADS` warn-and-fallback
+    // treatment: a garbled value must never silently select a different
+    // benchmark (or kill a CI leg that a typo meant to configure).
+    let kinds: Vec<ModelKind> = match std::env::var("BALSA_MODEL") {
+        Ok(raw) => ModelKind::parse_spec(&raw).unwrap_or_else(|| {
+            eprintln!(
+                "warning: BALSA_MODEL={raw:?} is not a model selection \
+                 (linear|tree_conv|both); training both"
+            );
+            vec![ModelKind::Linear, ModelKind::TreeConv]
+        }),
+        Err(_) => vec![ModelKind::Linear, ModelKind::TreeConv],
     };
     let opt_override: Option<OptimizerKind> = match std::env::var("BALSA_OPTIMIZER") {
-        Ok(s) => Some(
-            OptimizerKind::parse(&s)
-                .unwrap_or_else(|| panic!("unknown BALSA_OPTIMIZER {s:?} (sgd|momentum|adam)")),
-        ),
+        Ok(raw) => match OptimizerKind::parse(&raw) {
+            Some(o) => Some(o),
+            None => {
+                eprintln!(
+                    "warning: BALSA_OPTIMIZER={raw:?} is not an update rule \
+                     (sgd|momentum|adam); using the per-family defaults"
+                );
+                None
+            }
+        },
         Err(_) => None,
     };
+    // `FaultConfig::from_env` itself warns-and-runs-fault-free on a
+    // garbled BALSA_FAULTS spec.
+    let faults = FaultConfig::from_env();
     let scale = if smoke { 0.05 } else { 1.0 };
     let db = Arc::new(mini_imdb(DataGenConfig {
         scale,
@@ -332,6 +371,7 @@ fn main() {
                 &split,
                 &cfg,
                 opt_override,
+                faults,
                 &baseline_env,
                 &baseline_pool,
                 expert_test_median,
@@ -353,6 +393,24 @@ fn main() {
         }
     );
     let _ = writeln!(out, "  \"smoke\": {smoke},");
+    match &faults {
+        Some(fc) => {
+            let _ = writeln!(
+                out,
+                "  \"faults\": {{\"seed\": {}, \"transient\": {}, \"crash\": {}, \"spike\": {}, \"spike_factor\": {}, \"hang\": {}, \"restart_secs\": {}}},",
+                fc.seed,
+                json_f(fc.transient),
+                json_f(fc.crash),
+                json_f(fc.spike),
+                json_f(fc.spike_factor),
+                json_f(fc.hang),
+                json_f(fc.crash_restart_secs)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"faults\": null,");
+        }
+    }
     let _ = writeln!(out, "  \"scale\": {},", json_f(scale));
     let _ = writeln!(out, "  \"num_train\": {},", split.train.len());
     let _ = writeln!(out, "  \"num_test\": {},", split.test.len());
@@ -434,6 +492,25 @@ fn main() {
             "      \"train_per_sample_secs\": {},",
             json_opt(run.train_per_sample_secs)
         );
+        // Everything the resilience layer absorbed. All-zero on a
+        // fault-free run; `bench_gate` treats an *absent* block (an
+        // artifact recorded before this field existed) as
+        // skip-with-message, never as zero.
+        let r = &run.resilience;
+        let _ = writeln!(
+            out,
+            "      \"resilience\": {{\"faults_injected\": {}, \"transients\": {}, \"crashes\": {}, \"spikes\": {}, \"hangs\": {}, \"retries\": {}, \"abandoned\": {}, \"exhausted_censored\": {}, \"fallback_iterations\": {}, \"backoff_secs_charged\": {}}},",
+            r.faults_injected,
+            r.transients,
+            r.crashes,
+            r.spikes,
+            r.hangs,
+            r.retries,
+            r.abandoned,
+            r.exhausted_censored,
+            r.fallback_iterations,
+            json_f(r.backoff_secs_charged)
+        );
         out.push_str("      \"iterations\": [\n");
         for (i, it) in run.trajectory.iter().enumerate() {
             let _ = writeln!(out, "        {{");
@@ -457,6 +534,10 @@ fn main() {
             let _ = writeln!(out, "          \"timeouts\": {},", it.timeouts);
             let _ = writeln!(out, "          \"buffer_real\": {},", it.buffer_real);
             let _ = writeln!(out, "          \"buffer_sim\": {},", it.buffer_sim);
+            let _ = writeln!(out, "          \"faults\": {},", it.faults);
+            let _ = writeln!(out, "          \"retries\": {},", it.retries);
+            let _ = writeln!(out, "          \"abandoned\": {},", it.abandoned);
+            let _ = writeln!(out, "          \"fallback\": {},", it.fallback);
             let _ = writeln!(out, "          \"fit_mse\": {}", json_f(it.fit_mse));
             let _ = writeln!(
                 out,
@@ -473,10 +554,18 @@ fn main() {
     }
     out.push_str("  ]\n}\n");
 
-    std::fs::write("BENCH_learning.json", &out).expect("write BENCH_learning.json");
+    // A chaos run must never overwrite the fault-free recording: the
+    // quality gate reads `BENCH_learning.json`, the chaos gate compares
+    // `BENCH_learning_chaos.json` against it same-run.
+    let artifact = if faults.is_some() {
+        "BENCH_learning_chaos.json"
+    } else {
+        "BENCH_learning.json"
+    };
+    std::fs::write(artifact, &out).unwrap_or_else(|e| panic!("write {artifact}: {e}"));
     println!("{out}");
     eprintln!(
-        "wrote BENCH_learning.json in {:.1}s",
+        "wrote {artifact} in {:.1}s",
         t_total.elapsed().as_secs_f64()
     );
 }

@@ -18,7 +18,9 @@
 //! for the two training phases.
 
 use crate::model::TrainSet;
+use balsa_query::Plan;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Where a label came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,6 +45,11 @@ pub struct Experience {
     /// stay stable across fingerprint-algorithm changes for recorded
     /// learning curves to reproduce.
     pub fingerprint: u64,
+    /// The subplan itself. Features are a pure function of
+    /// `(query, plan)`, so checkpoints persist this compact tree (via
+    /// [`Plan::encode_compact`]) and recompute `features` at load time
+    /// instead of serializing hundreds of floats per entry.
+    pub plan: Arc<Plan>,
     /// Feature vector of the `(query, subplan)` state.
     pub features: Vec<f64>,
     /// Label in seconds (pseudo-seconds for simulated labels). When
@@ -120,6 +127,16 @@ impl ExperienceBuffer {
         self.map.get(&(query_key, fingerprint, source))
     }
 
+    /// Every entry in deterministic sorted-key order — the checkpoint
+    /// serialization walk. The internal hash-map order is never
+    /// observable through this (or any other) accessor, so a buffer
+    /// rebuilt from this walk is indistinguishable from the original.
+    pub fn sorted_entries(&self) -> Vec<&Experience> {
+        let mut keys: Vec<&(u64, u64, LabelSource)> = self.map.keys().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|k| &self.map[k]).collect()
+    }
+
     /// Extracts one source's population as a [`TrainSet`] with labels in
     /// log space (`ln(max(label, floor))`). Iteration order is sorted by
     /// key so training is deterministic.
@@ -146,6 +163,7 @@ mod tests {
         Experience {
             query_key: 42,
             fingerprint: fp,
+            plan: Plan::scan(0, balsa_query::ScanOp::Seq),
             features: vec![label],
             label_secs: label,
             censored,
@@ -237,6 +255,7 @@ mod tests {
                 buffer.record(Experience {
                     query_key: qk,
                     fingerprint: fp,
+                    plan: Plan::scan(0, balsa_query::ScanOp::Seq),
                     features: vec![label],
                     label_secs: label,
                     censored,

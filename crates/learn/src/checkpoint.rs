@@ -1,0 +1,515 @@
+//! Crash-safe training checkpoints.
+//!
+//! [`train_loop`] can be killed at any moment — process crash, OOM,
+//! preemption — and must restart without losing its run or breaking
+//! bit-reproducibility. The checkpoint captures **everything** phase 2
+//! threads through an iteration boundary:
+//!
+//! * the fine-tuning model's full internal state
+//!   ([`ValueModel::state_vec`], which — unlike `params` — round-trips
+//!   frozen feature standardization) and the best-so-far validation
+//!   checkpoint;
+//! * the master RNG's mid-stream state (the vendored xoshiro256++
+//!   exposes its four words), so post-resume fits consume exactly the
+//!   draws the uninterrupted run would have;
+//! * the experience buffer, as `(query, plan, label)` triples with
+//!   plans in [`Plan::encode_compact`] form — features are a pure
+//!   function of `(query, plan)` and are recomputed at load, keeping
+//!   checkpoints small;
+//! * the execution environment's plan cache and hit/miss counters
+//!   ([`balsa_engine::EnvSnapshot`]);
+//! * per-query best latencies (timeout budgets), the trajectory so
+//!   far, the resilience counters, and the expert-fallback window.
+//!
+//! **Atomicity:** [`CheckpointData::save_atomic`] writes to a temp file
+//! in the same directory and `rename`s it into place — a crash
+//! mid-write leaves the previous checkpoint intact, never a torn file.
+//!
+//! **Bit-identity:** every float is serialized as its exact IEEE-754
+//! bit pattern (hex), every collection in a deterministic sorted
+//! order, and nothing wall-clock-dependent is included — so a
+//! kill-at-iteration-k + resume run writes a final checkpoint that is
+//! **byte-identical** to the uninterrupted run's (the resume test's
+//! acceptance criterion).
+//!
+//! Measured walls are deliberately excluded — `TrainBreakdown`, the
+//! simulated clock (whose planning charges are *measured* planning
+//! walls), and each iteration's `sim_hours`. They are honest
+//! per-process measurements, not replayable state; including any of
+//! them would make two runs of the identical computation produce
+//! different checkpoint bytes. After a resume, the sim-hours curve
+//! restarts from the resume point and pre-resume entries read as NaN.
+//!
+//! [`train_loop`]: crate::train_loop
+//! [`ValueModel::state_vec`]: crate::ValueModel::state_vec
+//! [`Plan::encode_compact`]: balsa_query::Plan::encode_compact
+
+use crate::buffer::LabelSource;
+use crate::train::IterationStats;
+use balsa_engine::{EnvSnapshot, ResilienceStats};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One serialized experience-buffer entry. The feature vector is *not*
+/// stored: it is recomputed from the plan at load time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferEntry {
+    /// `balsa_engine::query_key` of the owning query.
+    pub query_key: u64,
+    /// The buffer's frozen structural key (`Plan::canonical_hash`).
+    pub fingerprint: u64,
+    /// The subplan, in [`balsa_query::Plan::encode_compact`] form.
+    pub plan: String,
+    /// Label in (pseudo-)seconds.
+    pub label_secs: f64,
+    /// Whether the label is a censored lower bound.
+    pub censored: bool,
+    /// Label provenance.
+    pub source: LabelSource,
+}
+
+/// A complete phase-2 iteration boundary of [`crate::train_loop`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointData {
+    /// Fingerprint of the training configuration (and fault/retry
+    /// config) that produced this checkpoint; resume refuses a
+    /// mismatch rather than silently training a different run.
+    pub cfg_fingerprint: u64,
+    /// Last completed fine-tuning iteration.
+    pub iteration: usize,
+    /// Master RNG state after this iteration's fit.
+    pub rng_state: [u64; 4],
+    /// Fine-tuning model state ([`crate::ValueModel::state_vec`] of
+    /// the residual wrapper).
+    pub model_state: Vec<f64>,
+    /// Whether the best-validation model is the residual wrapper
+    /// (later iterations) or the plain pretrained model (iteration 0).
+    pub best_is_residual: bool,
+    /// Best-validation model state.
+    pub best_model_state: Vec<f64>,
+    /// Best validation geometric-mean latency so far.
+    pub best_val: f64,
+    /// Per-train-query best observed latencies (timeout budgets),
+    /// sorted by query index.
+    pub best_lat: Vec<(usize, f64)>,
+    /// Recent per-iteration failure+timeout rates (expert-fallback
+    /// window), oldest first.
+    pub fallback_window: Vec<f64>,
+    /// Experience buffer in sorted-key order.
+    pub buffer: Vec<BufferEntry>,
+    /// Training environment snapshot (plan cache and counters; the
+    /// snapshot's `clock_secs` is **not** serialized — the clock
+    /// accumulates measured planning walls and is process-local).
+    pub env: EnvSnapshot,
+    /// Trajectory through this iteration.
+    pub trajectory: Vec<IterationStats>,
+    /// Resilience counters accumulated so far.
+    pub resilience: ResilienceStats,
+}
+
+const MAGIC: &str = "balsa-checkpoint v1";
+
+fn hx(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bits {s:?}"))
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad u64 {s:?}"))
+}
+
+fn parse_usize(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad usize {s:?}"))
+}
+
+impl CheckpointData {
+    /// Serializes to the deterministic text format.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{MAGIC}");
+        let _ = writeln!(s, "cfg {:016x}", self.cfg_fingerprint);
+        let _ = writeln!(s, "iteration {}", self.iteration);
+        let _ = writeln!(
+            s,
+            "rng {:016x} {:016x} {:016x} {:016x}",
+            self.rng_state[0], self.rng_state[1], self.rng_state[2], self.rng_state[3]
+        );
+        for (tag, vec) in [
+            ("model", &self.model_state),
+            ("best", &self.best_model_state),
+        ] {
+            let _ = write!(s, "{tag} {}", vec.len());
+            for v in vec {
+                let _ = write!(s, " {}", hx(*v));
+            }
+            let _ = writeln!(s);
+        }
+        let _ = writeln!(s, "best_is_residual {}", self.best_is_residual as u8);
+        let _ = writeln!(s, "best_val {}", hx(self.best_val));
+        let _ = writeln!(s, "best_lat {}", self.best_lat.len());
+        for (qi, lat) in &self.best_lat {
+            let _ = writeln!(s, "bl {qi} {}", hx(*lat));
+        }
+        let _ = write!(s, "window {}", self.fallback_window.len());
+        for r in &self.fallback_window {
+            let _ = write!(s, " {}", hx(*r));
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "env {} {} {}",
+            self.env.hits,
+            self.env.misses,
+            self.env.entries.len()
+        );
+        for (qk, fp, lat, work) in &self.env.entries {
+            let _ = writeln!(s, "ce {qk} {fp} {} {}", hx(*lat), hx(*work));
+        }
+        let _ = writeln!(s, "buffer {}", self.buffer.len());
+        for e in &self.buffer {
+            let _ = writeln!(
+                s,
+                "be {} {} {} {} {} {}",
+                e.query_key,
+                e.fingerprint,
+                match e.source {
+                    LabelSource::Simulated => "sim",
+                    LabelSource::Real => "real",
+                },
+                e.censored as u8,
+                hx(e.label_secs),
+                e.plan
+            );
+        }
+        let _ = writeln!(s, "trajectory {}", self.trajectory.len());
+        for t in &self.trajectory {
+            let _ = writeln!(
+                s,
+                "ts {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                t.iteration,
+                hx(t.train_median_secs),
+                hx(t.test_median_secs),
+                t.timeouts,
+                t.buffer_real,
+                t.buffer_sim,
+                hx(t.fit_mse),
+                hx(t.val_median_secs),
+                hx(t.val_geo_mean_secs),
+                t.faults,
+                t.retries,
+                t.abandoned,
+                t.fallback as u8
+            );
+        }
+        let r = &self.resilience;
+        let _ = writeln!(
+            s,
+            "resilience {} {} {} {} {} {} {} {} {} {}",
+            r.faults_injected,
+            r.transients,
+            r.crashes,
+            r.spikes,
+            r.hangs,
+            r.retries,
+            r.abandoned,
+            r.exhausted_censored,
+            r.fallback_iterations,
+            hx(r.backoff_secs_charged)
+        );
+        let _ = writeln!(s, "end");
+        s
+    }
+
+    /// Parses [`CheckpointData::encode`] output.
+    pub fn decode(text: &str) -> Result<CheckpointData, String> {
+        let mut lines = text.lines();
+        let mut next = |what: &str| -> Result<&str, String> {
+            lines.next().ok_or_else(|| format!("truncated at {what}"))
+        };
+        if next("magic")? != MAGIC {
+            return Err("not a balsa checkpoint (bad magic)".into());
+        }
+        let field = |line: &str, tag: &str| -> Result<String, String> {
+            line.strip_prefix(tag)
+                .and_then(|r| r.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected {tag:?}, got {line:?}"))
+        };
+        let cfg_fingerprint = u64::from_str_radix(&field(next("cfg")?, "cfg")?, 16)
+            .map_err(|_| "bad cfg fingerprint".to_string())?;
+        let iteration = parse_usize(&field(next("iteration")?, "iteration")?)?;
+        let rng_words: Vec<u64> = field(next("rng")?, "rng")?
+            .split(' ')
+            .map(|w| u64::from_str_radix(w, 16).map_err(|_| format!("bad rng word {w:?}")))
+            .collect::<Result<_, _>>()?;
+        let rng_state: [u64; 4] = rng_words
+            .try_into()
+            .map_err(|_| "rng needs 4 words".to_string())?;
+        let read_vec = |tag: &str, line: &str| -> Result<Vec<f64>, String> {
+            let body = field(line, tag)?;
+            let mut parts = body.split(' ');
+            let n = parse_usize(parts.next().ok_or("missing count")?)?;
+            let vec: Vec<f64> = parts.map(parse_f64).collect::<Result<_, _>>()?;
+            if vec.len() != n {
+                return Err(format!("{tag}: expected {n} values, got {}", vec.len()));
+            }
+            Ok(vec)
+        };
+        let model_state = read_vec("model", next("model")?)?;
+        let best_model_state = read_vec("best", next("best")?)?;
+        let best_is_residual = field(next("best_is_residual")?, "best_is_residual")? == "1";
+        let best_val = parse_f64(&field(next("best_val")?, "best_val")?)?;
+        let n_bl = parse_usize(&field(next("best_lat")?, "best_lat")?)?;
+        let mut best_lat = Vec::with_capacity(n_bl);
+        for _ in 0..n_bl {
+            let body = field(next("bl")?, "bl")?;
+            let (qi, lat) = body.split_once(' ').ok_or("bad bl line")?;
+            best_lat.push((parse_usize(qi)?, parse_f64(lat)?));
+        }
+        let fallback_window = read_vec("window", next("window")?)?;
+        let env_head = field(next("env")?, "env")?;
+        let mut env_parts = env_head.split(' ');
+        let hits = parse_u64(env_parts.next().ok_or("env hits")?)?;
+        let misses = parse_u64(env_parts.next().ok_or("env misses")?)?;
+        let n_entries = parse_usize(env_parts.next().ok_or("env count")?)?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let body = field(next("ce")?, "ce")?;
+            let p: Vec<&str> = body.split(' ').collect();
+            if p.len() != 4 {
+                return Err(format!("bad ce line {body:?}"));
+            }
+            entries.push((
+                parse_u64(p[0])?,
+                parse_u64(p[1])?,
+                parse_f64(p[2])?,
+                parse_f64(p[3])?,
+            ));
+        }
+        // Clock is wall-derived, never serialized: the resume path sets
+        // it to the live env's current reading so restore charges zero.
+        let env = EnvSnapshot {
+            entries,
+            hits,
+            misses,
+            clock_secs: 0.0,
+        };
+        let n_buf = parse_usize(&field(next("buffer")?, "buffer")?)?;
+        let mut buffer = Vec::with_capacity(n_buf);
+        for _ in 0..n_buf {
+            let body = field(next("be")?, "be")?;
+            let p: Vec<&str> = body.splitn(6, ' ').collect();
+            if p.len() != 6 {
+                return Err(format!("bad be line {body:?}"));
+            }
+            buffer.push(BufferEntry {
+                query_key: parse_u64(p[0])?,
+                fingerprint: parse_u64(p[1])?,
+                source: match p[2] {
+                    "sim" => LabelSource::Simulated,
+                    "real" => LabelSource::Real,
+                    other => return Err(format!("bad source {other:?}")),
+                },
+                censored: p[3] == "1",
+                label_secs: parse_f64(p[4])?,
+                plan: p[5].to_string(),
+            });
+        }
+        let n_traj = parse_usize(&field(next("trajectory")?, "trajectory")?)?;
+        let mut trajectory = Vec::with_capacity(n_traj);
+        for _ in 0..n_traj {
+            let body = field(next("ts")?, "ts")?;
+            let p: Vec<&str> = body.split(' ').collect();
+            if p.len() != 13 {
+                return Err(format!("bad ts line {body:?}"));
+            }
+            trajectory.push(IterationStats {
+                iteration: parse_usize(p[0])?,
+                // Wall-derived, not serialized (see module docs).
+                sim_hours: f64::NAN,
+                train_median_secs: parse_f64(p[1])?,
+                test_median_secs: parse_f64(p[2])?,
+                timeouts: parse_usize(p[3])?,
+                buffer_real: parse_usize(p[4])?,
+                buffer_sim: parse_usize(p[5])?,
+                fit_mse: parse_f64(p[6])?,
+                val_median_secs: parse_f64(p[7])?,
+                val_geo_mean_secs: parse_f64(p[8])?,
+                faults: parse_u64(p[9])?,
+                retries: parse_u64(p[10])?,
+                abandoned: parse_u64(p[11])?,
+                fallback: p[12] == "1",
+            });
+        }
+        let body = field(next("resilience")?, "resilience")?;
+        let p: Vec<&str> = body.split(' ').collect();
+        if p.len() != 10 {
+            return Err(format!("bad resilience line {body:?}"));
+        }
+        let resilience = ResilienceStats {
+            faults_injected: parse_u64(p[0])?,
+            transients: parse_u64(p[1])?,
+            crashes: parse_u64(p[2])?,
+            spikes: parse_u64(p[3])?,
+            hangs: parse_u64(p[4])?,
+            retries: parse_u64(p[5])?,
+            abandoned: parse_u64(p[6])?,
+            exhausted_censored: parse_u64(p[7])?,
+            fallback_iterations: parse_u64(p[8])?,
+            backoff_secs_charged: parse_f64(p[9])?,
+        };
+        if next("end")? != "end" {
+            return Err("missing end marker".into());
+        }
+        Ok(CheckpointData {
+            cfg_fingerprint,
+            iteration,
+            rng_state,
+            model_state,
+            best_is_residual,
+            best_model_state,
+            best_val,
+            best_lat,
+            fallback_window,
+            buffer,
+            env,
+            trajectory,
+            resilience,
+        })
+    }
+
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp` in
+    /// the same directory, then `rename` over `path`. A crash at any
+    /// point leaves either the previous checkpoint or the new one —
+    /// never a torn file.
+    pub fn save_atomic(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.encode())?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads and parses a checkpoint file.
+    pub fn load(path: &Path) -> Result<CheckpointData, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::decode(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointData {
+        CheckpointData {
+            cfg_fingerprint: 0xDEADBEEF,
+            iteration: 2,
+            rng_state: [1, u64::MAX, 3, 0x1234_5678_9ABC_DEF0],
+            model_state: vec![1.0, -0.25, f64::MIN_POSITIVE],
+            best_is_residual: true,
+            best_model_state: vec![0.5],
+            best_val: 0.123456789,
+            best_lat: vec![(0, 0.5), (3, 1.25)],
+            fallback_window: vec![0.0, 0.4],
+            env: EnvSnapshot {
+                entries: vec![(7, 9, 0.25, 100.0), (8, 1, 0.5, 7.0)],
+                hits: 4,
+                misses: 9,
+                clock_secs: 0.0,
+            },
+            buffer: vec![BufferEntry {
+                query_key: 42,
+                fingerprint: 77,
+                plan: "(h q0 q1)".into(),
+                label_secs: 0.75,
+                censored: true,
+                source: LabelSource::Real,
+            }],
+            trajectory: vec![IterationStats {
+                iteration: 0,
+                // Wall-derived; encode skips it, decode yields NaN.
+                sim_hours: 0.1,
+                train_median_secs: f64::NAN,
+                test_median_secs: 0.2,
+                timeouts: 1,
+                buffer_real: 10,
+                buffer_sim: 20,
+                fit_mse: 0.05,
+                val_median_secs: 0.3,
+                val_geo_mean_secs: 0.25,
+                faults: 2,
+                retries: 1,
+                abandoned: 0,
+                fallback: false,
+            }],
+            resilience: ResilienceStats {
+                faults_injected: 5,
+                transients: 2,
+                crashes: 1,
+                spikes: 1,
+                hangs: 1,
+                retries: 3,
+                abandoned: 1,
+                exhausted_censored: 1,
+                fallback_iterations: 1,
+                backoff_secs_charged: 0.7,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let data = sample();
+        let text = data.encode();
+        let back = CheckpointData::decode(&text).unwrap();
+        // PartialEq on the struct is false through NaN fields — compare
+        // the re-encoding instead, which is the bit-exactness witness
+        // that matters (checkpoint files must be byte-stable).
+        assert_eq!(back.encode(), text);
+        assert_eq!(back.cfg_fingerprint, data.cfg_fingerprint);
+        assert_eq!(back.rng_state, data.rng_state);
+        assert_eq!(
+            back.trajectory[0].train_median_secs.to_bits(),
+            data.trajectory[0].train_median_secs.to_bits(),
+            "NaN round-trips exactly"
+        );
+        assert_eq!(back.buffer, data.buffer);
+        assert_eq!(back.env, data.env);
+    }
+
+    #[test]
+    fn atomic_save_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("balsa_ckpt_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.txt");
+        let data = sample();
+        data.save_atomic(&path).unwrap();
+        let mut newer = sample();
+        newer.iteration = 3;
+        newer.save_atomic(&path).unwrap();
+        assert_eq!(CheckpointData::load(&path).unwrap().iteration, 3);
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp must be renamed away"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        assert!(CheckpointData::decode("not a checkpoint").is_err());
+        let text = sample().encode();
+        // Truncation is detected.
+        let cut: String = text.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(CheckpointData::decode(&cut).is_err());
+        // A corrupted float field is detected.
+        let bad = text.replace("best_val ", "best_val zz");
+        assert!(CheckpointData::decode(&bad).is_err());
+    }
+}

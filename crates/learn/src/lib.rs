@@ -22,8 +22,12 @@
 //! * [`train_loop`] — the two-phase driver: simulation pretraining, then
 //!   real-execution fine-tuning with epsilon-greedy exploration, all
 //!   charged to the environment's simulated clock (§4–§6).
+//! * [`CheckpointData`] — crash-safe atomic training checkpoints:
+//!   kill-at-iteration-k + resume reproduces the uninterrupted run's
+//!   remaining iterations and final checkpoint bit-for-bit.
 
 pub mod buffer;
+pub mod checkpoint;
 pub mod featurize;
 pub mod model;
 pub mod scorer;
@@ -31,6 +35,7 @@ pub mod train;
 pub mod treeconv;
 
 pub use buffer::{Experience, ExperienceBuffer, LabelSource};
+pub use checkpoint::{BufferEntry, CheckpointData};
 pub use featurize::{Featurizer, FlatState};
 pub use model::{
     shuffle_epoch_order, FeatureEncoding, FitReport, JoinStateItem, LinearValueModel, ModelKind,

@@ -50,6 +50,26 @@ impl ModelKind {
             ModelKind::TreeConv => "tree_conv",
         }
     }
+
+    /// Parses a CLI/env flag value (the inverse of
+    /// [`ModelKind::as_str`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "linear" => Some(ModelKind::Linear),
+            "tree_conv" => Some(ModelKind::TreeConv),
+            _ => None,
+        }
+    }
+
+    /// Parses a `BALSA_MODEL`-style selection: one family name or
+    /// `both`. `None` means the spec is garbled — callers warn loudly
+    /// and fall back to the default selection, never silently.
+    pub fn parse_spec(s: &str) -> Option<Vec<ModelKind>> {
+        match s {
+            "both" => Some(vec![ModelKind::Linear, ModelKind::TreeConv]),
+            other => ModelKind::parse(other).map(|k| vec![k]),
+        }
+    }
 }
 
 /// Opaque incremental per-subtree inference state threaded through the
@@ -300,6 +320,22 @@ pub trait ValueModel: Send + Sync {
     /// tests compare.
     fn params(&self) -> Vec<f64>;
 
+    /// The model's **complete** internal state as one flat vector, the
+    /// round-trippable form [`ValueModel::load_state`] restores
+    /// exactly. Distinct from [`ValueModel::params`]: `params` is a
+    /// normalized comparison form (the linear model folds its frozen
+    /// feature standardization into raw-space weights there, which is
+    /// lossy — two different internal states can share a `params`
+    /// vector, and SGD continues in the *internal* space). Crash-safe
+    /// resume needs `state_vec`; determinism witnesses use `params`.
+    fn state_vec(&self) -> Vec<f64>;
+
+    /// Restores the state captured by [`ValueModel::state_vec`] into a
+    /// freshly-constructed model of the same architecture. After a
+    /// successful load the model continues training bit-identically to
+    /// the one that was saved.
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String>;
+
     /// Clones the model behind the trait (checkpointing).
     fn clone_box(&self) -> Box<dyn ValueModel>;
 
@@ -464,6 +500,37 @@ impl ValueModel for LinearValueModel {
         let (mut v, b) = self.raw_form();
         v.push(b);
         v
+    }
+
+    fn state_vec(&self) -> Vec<f64> {
+        // Internal space: w, b, and the frozen standardization — the
+        // raw `params` form cannot reconstruct these, and SGD steps in
+        // the standardized space.
+        let dim = self.w.len();
+        let mut v = Vec::with_capacity(3 * dim + 2);
+        v.push(self.fitted as u8 as f64);
+        v.extend_from_slice(&self.w);
+        v.push(self.b);
+        v.extend_from_slice(&self.mean);
+        v.extend_from_slice(&self.inv_std);
+        v
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let dim = self.w.len();
+        if state.len() != 3 * dim + 2 {
+            return Err(format!(
+                "linear state length {} != {} (dim {dim})",
+                state.len(),
+                3 * dim + 2
+            ));
+        }
+        self.fitted = state[0] != 0.0;
+        self.w.copy_from_slice(&state[1..1 + dim]);
+        self.b = state[1 + dim];
+        self.mean.copy_from_slice(&state[2 + dim..2 + 2 * dim]);
+        self.inv_std.copy_from_slice(&state[2 + 2 * dim..]);
+        Ok(())
     }
 
     fn clone_box(&self) -> Box<dyn ValueModel> {
@@ -677,6 +744,30 @@ impl ValueModel for ResidualValueModel {
         v
     }
 
+    fn state_vec(&self) -> Vec<f64> {
+        // Length-prefix the base half so the split survives halves
+        // whose state length varies with fitted-ness.
+        let base = self.base.state_vec();
+        let mut v = Vec::with_capacity(base.len() + 1);
+        v.push(base.len() as f64);
+        v.extend(base);
+        v.extend(self.correction.state_vec());
+        v
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let n = *state.first().ok_or("empty residual state")? as usize;
+        let rest = &state[1..];
+        if n > rest.len() {
+            return Err(format!(
+                "residual base length {n} exceeds state length {}",
+                rest.len()
+            ));
+        }
+        self.base.load_state(&rest[..n])?;
+        self.correction.load_state(&rest[n..])
+    }
+
     fn clone_box(&self) -> Box<dyn ValueModel> {
         Box::new(ResidualValueModel {
             base: self.base.clone_box(),
@@ -773,6 +864,39 @@ impl ValueModel for ResidualValueModel {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    /// Parse table for the `BALSA_MODEL` / `BALSA_OPTIMIZER` env specs
+    /// (the warn-and-fallback treatment in `bench_learning` relies on
+    /// `None` meaning "garbled", mirroring `BALSA_PLAN_THREADS`).
+    #[test]
+    fn env_spec_parse_tables() {
+        use ModelKind::*;
+        let model_cases: &[(&str, Option<Vec<ModelKind>>)] = &[
+            ("linear", Some(vec![Linear])),
+            ("tree_conv", Some(vec![TreeConv])),
+            ("both", Some(vec![Linear, TreeConv])),
+            ("", None),
+            ("treeconv", None),
+            ("Linear", None),
+            ("linear,tree_conv", None),
+            (" both", None),
+        ];
+        for (raw, want) in model_cases {
+            assert_eq!(&ModelKind::parse_spec(raw), want, "BALSA_MODEL={raw:?}");
+        }
+        let opt_cases: &[(&str, Option<OptimizerKind>)] = &[
+            ("sgd", Some(OptimizerKind::Sgd)),
+            ("momentum", Some(OptimizerKind::Momentum)),
+            ("adam", Some(OptimizerKind::Adam)),
+            ("", None),
+            ("Adam", None),
+            ("adamw", None),
+            ("sgd ", None),
+        ];
+        for (raw, want) in opt_cases {
+            assert_eq!(&OptimizerKind::parse(raw), want, "BALSA_OPTIMIZER={raw:?}");
+        }
+    }
 
     fn synth(n: usize, rng: &mut SmallRng) -> TrainSet {
         // y = 2*x0 - 3*x1 + 0.5 plus small noise.

@@ -17,11 +17,25 @@
 //! environment's [`SimClock`], so the trajectory's `sim_hours` is the
 //! paper's learning-curve x-axis.
 //!
+//! **Robustness.** Fine-tuning executions run under a bounded
+//! [`RetryPolicy`]: retryable faults (see [`balsa_engine::faults`]) are
+//! retried with exponential backoff whose wall is charged to the clock
+//! as honest makespan; exhausted retries become timeout-censored labels
+//! or dropped samples per the policy. When the recent failure+timeout
+//! rate over a sliding window exceeds `fallback_threshold`, the next
+//! iteration degrades gracefully to expert DP plans — recorded in the
+//! trajectory and [`ResilienceStats`], never silent. With
+//! `checkpoint_every > 0` the loop writes an atomic checkpoint each N
+//! iterations and `resume_from` restarts mid-run, reproducing the
+//! uninterrupted run's remaining iterations bit-for-bit (see
+//! [`crate::checkpoint`]).
+//!
 //! Held-out queries are evaluated each iteration with greedy (ε = 0)
 //! inference on a *separate* environment, so evaluation neither warms
 //! the training plan cache nor advances the training clock.
 
 use crate::buffer::{Experience, ExperienceBuffer, LabelSource};
+use crate::checkpoint::{BufferEntry, CheckpointData};
 use crate::featurize::Featurizer;
 use crate::model::{
     FeatureEncoding, LinearValueModel, ModelKind, ResidualValueModel, SgdConfig, ValueModel,
@@ -30,7 +44,7 @@ use crate::scorer::LearnedScorer;
 use crate::treeconv::{TreeConvConfig, TreeConvValueModel};
 use balsa_card::{CardEstimator, HistogramEstimator, MemoEstimator};
 use balsa_cost::{CostModel, CoutModel, ExpertCostModel};
-use balsa_engine::{query_key, ExecutionEnv, SimClock, SubtreeObs};
+use balsa_engine::{query_key, ExecutionEnv, ResilienceStats, RetryPolicy, SimClock, SubtreeObs};
 use balsa_query::workloads::Workload;
 use balsa_query::{Plan, Query, Split};
 use balsa_search::{random_plan, BeamPlanner, DpPlanner, Planner, SearchMode, WorkerPool};
@@ -38,6 +52,7 @@ use balsa_storage::Database;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -84,6 +99,32 @@ pub struct TrainConfig {
     /// the thread count; the clock is charged the batch makespan via
     /// [`ExecutionEnv::charge_execution_batch`].
     pub training_threads: usize,
+    /// Retry policy for fine-tuning executions. With no fault injector
+    /// armed on the env, at most one attempt ever runs and the loop is
+    /// bit-identical to a retry-free one.
+    pub retry: RetryPolicy,
+    /// Sliding-window length (iterations) for the graceful-degradation
+    /// check.
+    pub fallback_window: usize,
+    /// When the mean failure+timeout rate over the window exceeds this,
+    /// the next iteration plans with expert DP instead of the learned
+    /// beam. `f64::INFINITY` (the default) disables fallback.
+    pub fallback_threshold: f64,
+    /// Write an atomic checkpoint every N fine-tuning iterations
+    /// (0 = never). Requires `checkpoint_path`.
+    pub checkpoint_every: usize,
+    /// Where checkpoints are written.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from this checkpoint, skipping pretraining and all
+    /// completed iterations. A missing file starts a fresh run (first
+    /// launch); a corrupt or configuration-mismatched file panics —
+    /// never silently trains a different run.
+    pub resume_from: Option<PathBuf>,
+    /// Test hook: stop right after iteration N's checkpoint is written,
+    /// simulating a kill at that boundary. A shortened `iterations`
+    /// cannot simulate this because the epsilon decay schedule depends
+    /// on the full horizon.
+    pub halt_after: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -106,7 +147,60 @@ impl Default for TrainConfig {
             seed: 0xBA15A,
             planning_threads: 1,
             training_threads: 1,
+            retry: RetryPolicy::default(),
+            fallback_window: 3,
+            fallback_threshold: f64::INFINITY,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            resume_from: None,
+            halt_after: None,
         }
+    }
+}
+
+/// SplitMix64 finalizer — fingerprint mixing.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn mix_str(h: u64, s: &str) -> u64 {
+    s.bytes().fold(h, |h, b| mix(h ^ b as u64))
+}
+
+impl TrainConfig {
+    /// Structural fingerprint of everything that shapes the
+    /// deterministic computation: hyperparameters, retry and fallback
+    /// policy, and the env's fault configuration. Checkpoints refuse to
+    /// resume under a different fingerprint. Thread counts and the
+    /// checkpoint/halt plumbing are deliberately excluded — they do not
+    /// change any computed bit.
+    pub fn fingerprint(&self, env: &ExecutionEnv) -> u64 {
+        let mut h = mix(0xBA15A ^ self.seed);
+        h = mix_str(h, &format!("{:?}", self.model));
+        h = mix_str(h, &format!("{:?}", self.mode));
+        for v in [
+            self.beam_width as u64,
+            self.sim_random_plans as u64,
+            self.iterations as u64,
+            self.fallback_window as u64,
+        ] {
+            h = mix(h ^ v);
+        }
+        for bits in [
+            self.epsilon.to_bits(),
+            self.timeout_factor.to_bits(),
+            self.fallback_threshold.to_bits(),
+        ] {
+            h = mix(h ^ bits);
+        }
+        h = mix_str(h, &format!("{:?}", self.pretrain_sgd));
+        h = mix_str(h, &format!("{:?}", self.finetune_sgd));
+        h = mix(h ^ self.retry.fingerprint());
+        h = mix(h ^ env.fault_injector().map_or(0, |i| i.config().fingerprint()));
+        h
     }
 }
 
@@ -138,18 +232,21 @@ pub struct TrainBreakdown {
 }
 
 /// One point of the learning trajectory.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationStats {
     /// 0 after simulation pretraining, then 1..=iterations.
     pub iteration: usize,
     /// Simulated elapsed hours on the training environment's clock.
+    /// Wall-derived (planning charges are measured), so NaN for
+    /// iterations replayed from a checkpoint.
     pub sim_hours: f64,
     /// Median latency of the plans executed on the training set this
     /// iteration (NaN for iteration 0, which executes nothing).
     pub train_median_secs: f64,
     /// Median executed latency of greedy inference on the held-out set.
     pub test_median_secs: f64,
-    /// Training executions killed by the timeout this iteration.
+    /// Training executions killed by the timeout this iteration
+    /// (including exhausted-retry executions recorded as censored).
     pub timeouts: usize,
     /// Real-source experiences in the buffer.
     pub buffer_real: usize,
@@ -163,6 +260,15 @@ pub struct IterationStats {
     /// Geometric-mean executed latency on the training workload — the
     /// checkpoint-selection signal.
     pub val_geo_mean_secs: f64,
+    /// Faults injected into this iteration's executions.
+    pub faults: u64,
+    /// Retry attempts spent this iteration.
+    pub retries: u64,
+    /// Samples dropped after exhausting retries this iteration.
+    pub abandoned: u64,
+    /// Whether this iteration planned with the expert DP fallback
+    /// instead of the learned beam.
+    pub fallback: bool,
 }
 
 /// Result of a [`train_loop`] run.
@@ -179,6 +285,8 @@ pub struct TrainOutcome {
     pub buffer: ExperienceBuffer,
     /// Per-phase wall-clock breakdown of the run.
     pub breakdown: TrainBreakdown,
+    /// Everything the resilience layer absorbed across the run.
+    pub resilience: ResilienceStats,
 }
 
 /// Instantiates an untrained model of `kind` sized for `featurizer`.
@@ -221,6 +329,7 @@ fn sim_labels(
             query_key: qk,
             fingerprint: sub.canonical_hash(),
             features: featurizer.featurize_enc(enc, query, &sub, est),
+            plan: sub,
             label_secs: label,
             censored: false,
             source: LabelSource::Simulated,
@@ -332,75 +441,20 @@ pub fn train_loop(
     let est = HistogramEstimator::new(db);
     let featurizer = Featurizer::new(db.clone(), profile.weights, profile.bushy_hints);
     let mut buffer = ExperienceBuffer::new();
-    let mut model = make_model(cfg.model, &featurizer);
-    let enc = model.encoding();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let probe = make_model(cfg.model, &featurizer);
+    let enc = probe.encoding();
+    let cfg_fp = cfg.fingerprint(env);
     // Evaluation runs on a twin environment: latencies are deterministic
     // per (query, plan), so results match the training engine without
     // touching its clock or plan cache. The true-cardinality oracle is
     // shared — cardinalities are exact ground truth, so sharing only
-    // saves re-materializing the same joins twice.
+    // saves re-materializing the same joins twice. Faults are never
+    // armed on it: evaluation measures plans, not luck.
     let eval_env = ExecutionEnv::with_truth(env.truth_arc(), *profile, SimClock::paper_default());
 
     let mut breakdown = TrainBreakdown::default();
     let pool = WorkerPool::new(cfg.planning_threads);
 
-    // ---- Phase 1: simulation pretraining (§4.1) ----
-    // Plan collection stays serial: `random_plan` consumes the master
-    // RNG, whose stream is part of the reproducibility contract. The
-    // expensive per-subplan featurization is pure, so it fans out on
-    // the pool and the experiences are recorded serially in the same
-    // (query, plan, subplan) order as the historical serial loop.
-    let cout = CoutModel;
-    let mut sim_jobs: Vec<(usize, Vec<Arc<Plan>>)> = Vec::with_capacity(split.train.len());
-    for &qi in &split.train {
-        let q = &workload.queries[qi];
-        let memo = MemoEstimator::new(&est);
-        let dp = DpPlanner::new(db, &cout, &memo, cfg.mode).plan(q);
-        env.charge_planning(dp.planning_secs);
-        let mut plans = vec![dp.plan];
-        for _ in 0..cfg.sim_random_plans {
-            plans.push(random_plan(db, q, cfg.mode, &mut rng));
-        }
-        sim_jobs.push((qi, plans));
-    }
-    let t_feat = Instant::now();
-    let featurized = pool.map(&sim_jobs, |_, (qi, plans)| {
-        let q = &workload.queries[*qi];
-        // A fresh memo per job: estimates are pure functions of the
-        // base estimator, so labels match the serial loop exactly.
-        let memo = MemoEstimator::new(&est);
-        let mut exps = Vec::new();
-        for plan in plans {
-            sim_labels(
-                &featurizer,
-                enc,
-                q,
-                plan,
-                &memo,
-                profile.time_per_work,
-                profile.startup_secs,
-                &mut exps,
-            );
-        }
-        exps
-    });
-    breakdown.featurize_secs += t_feat.elapsed().as_secs_f64();
-    for exps in featurized {
-        for e in exps {
-            buffer.record(e);
-        }
-    }
-    let report = model.fit(
-        buffer.train_set(LabelSource::Simulated),
-        &cfg.pretrain_sgd,
-        &mut rng,
-    );
-    env.charge_update(report.steps);
-    breakdown.forward_secs += report.forward_secs;
-    breakdown.backward_secs += report.backward_secs;
-
-    let mut trajectory = Vec::new();
     let eval_point = |model: &dyn ValueModel| {
         let test = evaluate_learned(
             db,
@@ -428,36 +482,203 @@ pub fn train_loop(
         );
         (median(&test), median(&val), geo_mean(&val))
     };
-    let (test_median, val_median, val_geo) = eval_point(&*model);
-    let mut best_model = model.clone_box();
-    let mut best_val = val_geo;
-    trajectory.push(IterationStats {
-        iteration: 0,
-        sim_hours: env.elapsed_secs() / 3600.0,
-        train_median_secs: f64::NAN,
-        test_median_secs: test_median,
-        timeouts: 0,
-        buffer_real: buffer.count(LabelSource::Real),
-        buffer_sim: buffer.count(LabelSource::Simulated),
-        fit_mse: report.mse,
-        val_median_secs: val_median,
-        val_geo_mean_secs: val_geo,
-    });
+
+    let resume: Option<CheckpointData> = match &cfg.resume_from {
+        Some(path) if path.exists() => {
+            let data = CheckpointData::load(path)
+                .unwrap_or_else(|e| panic!("resume_from {}: {e}", path.display()));
+            assert_eq!(
+                data.cfg_fingerprint,
+                cfg_fp,
+                "checkpoint {} was written under a different training/fault/retry \
+                 configuration; refusing to silently train a different run",
+                path.display()
+            );
+            Some(data)
+        }
+        Some(path) => {
+            eprintln!(
+                "balsa: resume_from {} not found; starting a fresh run",
+                path.display()
+            );
+            None
+        }
+        None => None,
+    };
+
+    let mut model: Box<dyn ValueModel>;
+    let mut best_model: Box<dyn ValueModel>;
+    let mut best_is_residual: bool;
+    let mut best_val: f64;
+    let mut best_lat: HashMap<usize, f64>;
+    let mut rng: SmallRng;
+    let mut trajectory: Vec<IterationStats>;
+    let mut stats: ResilienceStats;
+    let mut window: Vec<f64>;
+    let start_iter: usize;
+
+    if let Some(data) = resume {
+        // ---- Resume: rebuild the iteration boundary, skip phase 1 ----
+        // Features are a pure function of (query, plan); the checkpoint
+        // stores compact plan trees and we recompute features here, so
+        // the rebuilt buffer is indistinguishable from the original.
+        let qmap: HashMap<u64, &Query> =
+            workload.queries.iter().map(|q| (query_key(q), q)).collect();
+        for e in &data.buffer {
+            let q = qmap
+                .get(&e.query_key)
+                .unwrap_or_else(|| panic!("checkpoint query key {} not in workload", e.query_key));
+            let plan = Plan::parse_compact(&e.plan)
+                .unwrap_or_else(|err| panic!("checkpoint plan {:?}: {err}", e.plan));
+            assert_eq!(
+                plan.canonical_hash(),
+                e.fingerprint,
+                "checkpoint plan does not match its recorded fingerprint"
+            );
+            let memo = MemoEstimator::new(&est);
+            let features = featurizer.featurize_enc(enc, q, &plan, &memo);
+            buffer.record(Experience {
+                query_key: e.query_key,
+                fingerprint: e.fingerprint,
+                features,
+                plan,
+                label_secs: e.label_secs,
+                censored: e.censored,
+                source: e.source,
+            });
+        }
+        let mut m: Box<dyn ValueModel> = Box::new(ResidualValueModel::new(
+            make_model(cfg.model, &featurizer),
+            make_model(cfg.model, &featurizer),
+        ));
+        m.load_state(&data.model_state)
+            .unwrap_or_else(|e| panic!("checkpoint model state: {e}"));
+        model = m;
+        let mut bm: Box<dyn ValueModel> = if data.best_is_residual {
+            Box::new(ResidualValueModel::new(
+                make_model(cfg.model, &featurizer),
+                make_model(cfg.model, &featurizer),
+            ))
+        } else {
+            make_model(cfg.model, &featurizer)
+        };
+        bm.load_state(&data.best_model_state)
+            .unwrap_or_else(|e| panic!("checkpoint best-model state: {e}"));
+        best_model = bm;
+        best_is_residual = data.best_is_residual;
+        best_val = data.best_val;
+        best_lat = data.best_lat.iter().copied().collect();
+        // The vendored xoshiro exposes its word state: the master RNG
+        // continues exactly mid-stream, so post-resume fits draw the
+        // same shuffles and init the uninterrupted run would have.
+        rng = SmallRng::from_state(data.rng_state);
+        trajectory = data.trajectory;
+        stats = data.resilience;
+        window = data.fallback_window;
+        start_iter = data.iteration + 1;
+        // Restore the plan cache and counters. The clock is wall-derived
+        // state and is not checkpointed; pin the snapshot's clock to the
+        // live reading so the restore charges nothing.
+        let mut snap = data.env;
+        snap.clock_secs = env.elapsed_secs();
+        env.restore(&snap);
+    } else {
+        // ---- Phase 1: simulation pretraining (§4.1) ----
+        // Plan collection stays serial: `random_plan` consumes the master
+        // RNG, whose stream is part of the reproducibility contract. The
+        // expensive per-subplan featurization is pure, so it fans out on
+        // the pool and the experiences are recorded serially in the same
+        // (query, plan, subplan) order as the historical serial loop.
+        let mut pre = probe;
+        rng = SmallRng::seed_from_u64(cfg.seed);
+        let cout = CoutModel;
+        let mut sim_jobs: Vec<(usize, Vec<Arc<Plan>>)> = Vec::with_capacity(split.train.len());
+        for &qi in &split.train {
+            let q = &workload.queries[qi];
+            let memo = MemoEstimator::new(&est);
+            let dp = DpPlanner::new(db, &cout, &memo, cfg.mode).plan(q);
+            env.charge_planning(dp.planning_secs);
+            let mut plans = vec![dp.plan];
+            for _ in 0..cfg.sim_random_plans {
+                plans.push(random_plan(db, q, cfg.mode, &mut rng));
+            }
+            sim_jobs.push((qi, plans));
+        }
+        let t_feat = Instant::now();
+        let featurized = pool.map(&sim_jobs, |_, (qi, plans)| {
+            let q = &workload.queries[*qi];
+            // A fresh memo per job: estimates are pure functions of the
+            // base estimator, so labels match the serial loop exactly.
+            let memo = MemoEstimator::new(&est);
+            let mut exps = Vec::new();
+            for plan in plans {
+                sim_labels(
+                    &featurizer,
+                    enc,
+                    q,
+                    plan,
+                    &memo,
+                    profile.time_per_work,
+                    profile.startup_secs,
+                    &mut exps,
+                );
+            }
+            exps
+        });
+        breakdown.featurize_secs += t_feat.elapsed().as_secs_f64();
+        for exps in featurized {
+            for e in exps {
+                buffer.record(e);
+            }
+        }
+        let report = pre.fit(
+            buffer.train_set(LabelSource::Simulated),
+            &cfg.pretrain_sgd,
+            &mut rng,
+        );
+        env.charge_update(report.steps);
+        breakdown.forward_secs += report.forward_secs;
+        breakdown.backward_secs += report.backward_secs;
+
+        let (test_median, val_median, val_geo) = eval_point(&*pre);
+        best_model = pre.clone_box();
+        best_is_residual = false;
+        best_val = val_geo;
+        trajectory = vec![IterationStats {
+            iteration: 0,
+            sim_hours: env.elapsed_secs() / 3600.0,
+            train_median_secs: f64::NAN,
+            test_median_secs: test_median,
+            timeouts: 0,
+            buffer_real: buffer.count(LabelSource::Real),
+            buffer_sim: buffer.count(LabelSource::Simulated),
+            fit_mse: report.mse,
+            val_median_secs: val_median,
+            val_geo_mean_secs: val_geo,
+            faults: 0,
+            retries: 0,
+            abandoned: 0,
+            fallback: false,
+        }];
+
+        // Residual scheme ([`ResidualValueModel`]): the pretrained model
+        // is frozen as the base; a correction model of the same family is
+        // trained on real-execution residual labels (`ln latency − base
+        // prediction`), and the deployed model is their sum. Iteration 1
+        // therefore starts exactly at the pretrained policy, and
+        // fine-tuning moves it only where real evidence pulls — the
+        // stable counterpart of the paper's sim-to-real transfer.
+        model = Box::new(ResidualValueModel::new(
+            pre,
+            make_model(cfg.model, &featurizer),
+        ));
+        best_lat = HashMap::new();
+        stats = ResilienceStats::default();
+        window = Vec::new();
+        start_iter = 1;
+    }
 
     // ---- Phase 2: real-execution fine-tuning (§4.2–§4.3) ----
-    //
-    // Residual scheme ([`ResidualValueModel`]): the pretrained model is
-    // frozen as the base; a correction model of the same family is
-    // trained on real-execution residual labels (`ln latency − base
-    // prediction`), and the deployed model is their sum. Iteration 1
-    // therefore starts exactly at the pretrained policy, and fine-tuning
-    // moves it only where real evidence pulls — the stable counterpart
-    // of the paper's sim-to-real transfer.
-    let mut model: Box<dyn ValueModel> = Box::new(ResidualValueModel::new(
-        model,
-        make_model(cfg.model, &featurizer),
-    ));
-    let mut best_lat: HashMap<usize, f64> = HashMap::new();
     // The pool is persistent: when the two phases are configured to the
     // same width, share one set of parked workers instead of spawning a
     // second pool (clones share workers).
@@ -466,7 +687,23 @@ pub fn train_loop(
     } else {
         WorkerPool::new(cfg.training_threads)
     };
-    for iter in 1..=cfg.iterations {
+    for iter in start_iter..=cfg.iterations {
+        // Graceful degradation: when the recent failure+timeout rate
+        // exceeds the threshold, plan this iteration with expert DP
+        // instead of the learned beam — recorded, never silent.
+        let use_fallback = cfg.fallback_window > 0
+            && window.len() >= cfg.fallback_window
+            && window.iter().sum::<f64>() / window.len() as f64 > cfg.fallback_threshold;
+        if use_fallback {
+            stats.fallback_iterations += 1;
+            eprintln!(
+                "balsa: iteration {iter}: failure rate {:.3} over the last {} iterations \
+                 exceeds {:.3}; planning with the expert DP fallback",
+                window.iter().sum::<f64>() / window.len() as f64,
+                window.len(),
+                cfg.fallback_threshold
+            );
+        }
         // Linear epsilon decay: full exploration early, pure greed last.
         let epsilon = if cfg.iterations > 1 {
             cfg.epsilon * (1.0 - (iter - 1) as f64 / (cfg.iterations - 1) as f64)
@@ -476,28 +713,40 @@ pub fn train_loop(
         // (a) Plan every training query on the worker pool. Each query's
         // exploration RNG is seeded by (seed, iteration, query id) inside
         // the beam, and results come back in split order, so this is
-        // bit-identical to the serial loop for any thread count.
+        // bit-identical to the serial loop for any thread count — and
+        // swapping the beam for the DP fallback consumes nothing from the
+        // master RNG stream either way.
         let model_ref: &dyn ValueModel = &*model;
-        let planned = pool.map(&split.train, |_, &qi| {
-            let q = &workload.queries[qi];
-            let scorer = LearnedScorer::new(&featurizer, model_ref, &est);
-            BeamPlanner::new(db, &scorer, cfg.mode, cfg.beam_width)
-                .with_exploration(epsilon, cfg.seed ^ ((iter as u64) << 44))
-                .plan(q)
-        });
+        let planned = if use_fallback {
+            let expert = ExpertCostModel::new(db.clone(), profile.weights);
+            pool.map_init(
+                &split.train,
+                || DpPlanner::new(db, &expert, &est, cfg.mode),
+                |planner, _, &qi| planner.plan(&workload.queries[qi]),
+            )
+        } else {
+            pool.map(&split.train, |_, &qi| {
+                let q = &workload.queries[qi];
+                let scorer = LearnedScorer::new(&featurizer, model_ref, &est);
+                BeamPlanner::new(db, &scorer, cfg.mode, cfg.beam_width)
+                    .with_exploration(epsilon, cfg.seed ^ ((iter as u64) << 44))
+                    .plan(q)
+            })
+        };
         // The clock advances by the phase's parallel makespan, not the
         // serial sum — planning wall-clock is what the paper charges.
         let plan_secs: Vec<f64> = planned.iter().map(|p| p.planning_secs).collect();
         env.charge_planning_parallel(&plan_secs, pool.threads());
 
-        // (b) Execute on the execution pool. Budgets are precomputed:
-        // each query appears once per iteration, so its budget depends
-        // only on prior iterations and matches the serial loop's.
-        // Latencies, labels, and cache decisions are deterministic per
-        // (query, plan) and the keys are distinct within the batch, so
-        // any thread count observes the serial outcomes; results fold
-        // back in split order and the clock is charged the batch's
-        // parallel makespan once.
+        // (b) Execute on the execution pool, each query under the retry
+        // policy. Budgets are precomputed: each query appears once per
+        // iteration, so its budget depends only on prior iterations and
+        // matches the serial loop's. Latencies, labels, fault draws
+        // (stateless, keyed), and cache decisions are deterministic per
+        // (query, plan, attempt) and the keys are distinct within the
+        // batch, so any thread count observes the serial outcomes;
+        // results fold back in split order and the clock is charged the
+        // batch's parallel makespan once.
         let budgets: Vec<Option<f64>> = split
             .train
             .iter()
@@ -509,8 +758,8 @@ pub fn train_loop(
             let q = &workload.queries[split.train[j]];
             let t0 = Instant::now();
             let r = env
-                .execute_labeled_uncharged(q, &planned[j].plan, budgets[j])
-                .expect("beam plan must be executable");
+                .execute_labeled_retry_uncharged(q, &planned[j].plan, budgets[j], &cfg.retry)
+                .expect("plan must be executable");
             (r, t0.elapsed().as_secs_f64())
         });
         breakdown.truecard_secs += t_exec.elapsed().as_secs_f64();
@@ -519,24 +768,42 @@ pub fn train_loop(
         }
         let mut lats = Vec::with_capacity(split.train.len());
         let mut timeouts = 0usize;
-        let mut fresh_lats = Vec::with_capacity(split.train.len());
+        let mut charged = Vec::with_capacity(split.train.len());
         let mut label_jobs: Vec<(usize, Vec<SubtreeObs>)> = Vec::with_capacity(split.train.len());
-        for (&qi, ((outcome, labels), job_secs)) in split.train.iter().zip(executed) {
+        let mut iter_res = ResilienceStats::default();
+        for (&qi, (report, job_secs)) in split.train.iter().zip(executed) {
             breakdown.truecard_job_secs += job_secs;
-            if outcome.timed_out {
-                timeouts += 1;
-            } else {
-                let e = best_lat.entry(qi).or_insert(f64::INFINITY);
-                *e = e.min(outcome.latency_secs);
+            iter_res.merge(&report.stats);
+            // Wasted attempts + the final attempt occupy this query's
+            // execution slot; cache hits cost nothing, exactly as in
+            // `execute`. Fault-free this is the fresh latency alone.
+            if report.exec_secs > 0.0 {
+                charged.push(report.exec_secs);
             }
-            if !outcome.from_cache {
-                fresh_lats.push(outcome.latency_secs);
+            // A `None` outcome was dropped after exhausting retries: no
+            // label, no latency observation; counted in `abandoned`.
+            if let Some((outcome, labels)) = report.outcome {
+                if outcome.timed_out {
+                    timeouts += 1;
+                } else {
+                    let e = best_lat.entry(qi).or_insert(f64::INFINITY);
+                    *e = e.min(outcome.latency_secs);
+                }
+                lats.push(outcome.latency_secs);
+                label_jobs.push((qi, labels));
             }
-            lats.push(outcome.latency_secs);
-            label_jobs.push((qi, labels));
         }
-        // Cache hits cost no simulated time, exactly as in `execute`.
-        env.charge_execution_batch(&fresh_lats);
+        env.charge_execution_batch(&charged);
+        // Backoff waits are wall the training run really spends sitting
+        // idle before a retry — charged raw (the retrying slot cannot
+        // overlap its own backoff). Zero, and bit-neutral, fault-free.
+        env.charge_raw(iter_res.backoff_secs_charged);
+        if cfg.fallback_window > 0 {
+            window.push((timeouts as f64 + iter_res.abandoned as f64) / split.train.len() as f64);
+            if window.len() > cfg.fallback_window {
+                window.remove(0);
+            }
+        }
 
         // (c) Featurize all subtree labels on the pool, (d) record into
         // the buffer serially in the same (query, subtree) order as the
@@ -554,6 +821,7 @@ pub fn train_loop(
                     // Frozen key — see `record_sim_labels`.
                     fingerprint: l.plan.canonical_hash(),
                     features: featurizer.featurize_enc(enc, q, &l.plan, &memo),
+                    plan: l.plan.clone(),
                     label_secs: l.latency_secs,
                     censored: l.censored,
                     source: LabelSource::Real,
@@ -581,7 +849,9 @@ pub fn train_loop(
         if val_geo < best_val || best_val.is_nan() {
             best_val = val_geo;
             best_model = model.clone_box();
+            best_is_residual = true;
         }
+        stats.merge(&iter_res);
         trajectory.push(IterationStats {
             iteration: iter,
             sim_hours: env.elapsed_secs() / 3600.0,
@@ -593,7 +863,52 @@ pub fn train_loop(
             fit_mse: report.mse,
             val_median_secs: val_median,
             val_geo_mean_secs: val_geo,
+            faults: iter_res.faults_injected,
+            retries: iter_res.retries,
+            abandoned: iter_res.abandoned,
+            fallback: use_fallback,
         });
+
+        if cfg.checkpoint_every > 0 && iter % cfg.checkpoint_every == 0 {
+            if let Some(path) = &cfg.checkpoint_path {
+                let mut best_lat_sorted: Vec<(usize, f64)> =
+                    best_lat.iter().map(|(&k, &v)| (k, v)).collect();
+                best_lat_sorted.sort_by_key(|&(k, _)| k);
+                let data = CheckpointData {
+                    cfg_fingerprint: cfg_fp,
+                    iteration: iter,
+                    rng_state: rng.state(),
+                    model_state: model.state_vec(),
+                    best_is_residual,
+                    best_model_state: best_model.state_vec(),
+                    best_val,
+                    best_lat: best_lat_sorted,
+                    fallback_window: window.clone(),
+                    buffer: buffer
+                        .sorted_entries()
+                        .iter()
+                        .map(|e| BufferEntry {
+                            query_key: e.query_key,
+                            fingerprint: e.fingerprint,
+                            plan: e.plan.encode_compact(),
+                            label_secs: e.label_secs,
+                            censored: e.censored,
+                            source: e.source,
+                        })
+                        .collect(),
+                    env: env.snapshot(),
+                    trajectory: trajectory.clone(),
+                    resilience: stats,
+                };
+                data.save_atomic(path)
+                    .unwrap_or_else(|e| panic!("checkpoint write {}: {e}", path.display()));
+            }
+        }
+        // Test hook: the process "dies" right after this iteration's
+        // checkpoint hit disk.
+        if cfg.halt_after == Some(iter) {
+            break;
+        }
     }
 
     TrainOutcome {
@@ -601,5 +916,6 @@ pub fn train_loop(
         trajectory,
         buffer,
         breakdown,
+        resilience: stats,
     }
 }

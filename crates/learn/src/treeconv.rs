@@ -1127,6 +1127,37 @@ impl ValueModel for TreeConvValueModel {
         v
     }
 
+    fn state_vec(&self) -> Vec<f64> {
+        // The flat weight vector IS the complete state here (no frozen
+        // standardization, no optimizer moments — the optimizer is
+        // created fresh per fit call); only the fitted flag rides
+        // along.
+        let mut v = Vec::with_capacity(self.num_params() + 1);
+        v.push(self.fitted as u8 as f64);
+        v.extend(self.params());
+        v
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), String> {
+        let (&flag, weights) = state.split_first().ok_or("empty tree-conv state")?;
+        if weights.len() != self.num_params() {
+            return Err(format!(
+                "tree-conv state length {} != {}",
+                weights.len(),
+                self.num_params()
+            ));
+        }
+        if flag != 0.0 {
+            self.set_params(weights);
+        } else {
+            // An unfitted net is exactly a fresh construction (zero
+            // weights, init deferred to the first fit) — nothing to
+            // restore.
+            self.fitted = false;
+        }
+        Ok(())
+    }
+
     fn clone_box(&self) -> Box<dyn ValueModel> {
         Box::new(self.clone())
     }

@@ -86,6 +86,7 @@ fn experience_buffer_with_real_labeled_executions() {
                 query_key: query_key(q),
                 fingerprint: l.plan.fingerprint(),
                 features: f.featurize(q, &l.plan, &est),
+                plan: l.plan.clone(),
                 label_secs: l.latency_secs,
                 censored: l.censored,
                 source: LabelSource::Real,
@@ -251,6 +252,7 @@ fn censoring_at_root_vs_interior_subtree() {
                 query_key: query_key(q),
                 fingerprint: l.plan.fingerprint(),
                 features: f.featurize(q, &l.plan, &est),
+                plan: l.plan.clone(),
                 label_secs: l.latency_secs,
                 censored: l.censored,
                 source: LabelSource::Real,

@@ -381,6 +381,98 @@ impl Plan {
         }
         rec(self, FNV_OFFSET)
     }
+
+    /// A compact, human-greppable text encoding of the plan, for
+    /// checkpoint files: scans are `q<idx>` (sequential) / `i<idx>`
+    /// (index), joins are `(<op> <left> <right>)` with `h`/`m`/`n` for
+    /// hash/merge/nested-loop. Round-trips via [`Plan::parse_compact`].
+    pub fn encode_compact(&self) -> String {
+        fn rec(p: &Plan, out: &mut String) {
+            match p {
+                Plan::Scan { qt, op } => {
+                    out.push(match op {
+                        ScanOp::Seq => 'q',
+                        ScanOp::Index => 'i',
+                    });
+                    out.push_str(&qt.to_string());
+                }
+                Plan::Join {
+                    op, left, right, ..
+                } => {
+                    out.push('(');
+                    out.push(match op {
+                        JoinOp::Hash => 'h',
+                        JoinOp::Merge => 'm',
+                        JoinOp::NestLoop => 'n',
+                    });
+                    out.push(' ');
+                    rec(left, out);
+                    out.push(' ');
+                    rec(right, out);
+                    out.push(')');
+                }
+            }
+        }
+        let mut out = String::new();
+        rec(self, &mut out);
+        out
+    }
+
+    /// Parses an [`Plan::encode_compact`] string back into a plan.
+    pub fn parse_compact(text: &str) -> Result<Arc<Plan>, String> {
+        fn node(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Arc<Plan>, String> {
+            match chars.peek().copied() {
+                Some('(') => {
+                    chars.next();
+                    let op = match chars.next() {
+                        Some('h') => JoinOp::Hash,
+                        Some('m') => JoinOp::Merge,
+                        Some('n') => JoinOp::NestLoop,
+                        other => return Err(format!("bad join op {other:?}")),
+                    };
+                    expect(chars, ' ')?;
+                    let left = node(chars)?;
+                    expect(chars, ' ')?;
+                    let right = node(chars)?;
+                    expect(chars, ')')?;
+                    if !left.mask().disjoint(right.mask()) {
+                        return Err("join inputs overlap".to_string());
+                    }
+                    Ok(Plan::join(op, left, right))
+                }
+                Some(c @ ('q' | 'i')) => {
+                    chars.next();
+                    let mut digits = String::new();
+                    while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                        digits.push(chars.next().expect("peeked"));
+                    }
+                    let qt: usize = digits
+                        .parse()
+                        .map_err(|_| format!("bad scan index {digits:?}"))?;
+                    Ok(Plan::scan(
+                        qt,
+                        if c == 'q' { ScanOp::Seq } else { ScanOp::Index },
+                    ))
+                }
+                other => Err(format!("unexpected {other:?}")),
+            }
+        }
+        fn expect(
+            chars: &mut std::iter::Peekable<std::str::Chars>,
+            want: char,
+        ) -> Result<(), String> {
+            match chars.next() {
+                Some(c) if c == want => Ok(()),
+                other => Err(format!("expected {want:?}, got {other:?}")),
+            }
+        }
+        let mut chars = text.chars().peekable();
+        let plan = node(&mut chars)?;
+        if let Some(trailing) = chars.next() {
+            return Err(format!("trailing {trailing:?}"));
+        }
+        Ok(plan)
+    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -600,5 +692,20 @@ mod tests {
         let a = Plan::scan(0, ScanOp::Seq);
         let b = Plan::scan(0, ScanOp::Seq);
         let _ = Plan::join(JoinOp::Hash, a, b);
+    }
+
+    #[test]
+    fn compact_encoding_round_trips() {
+        for plan in [left_deep_3(), bushy_4(), Plan::scan(12, ScanOp::Index)] {
+            let text = plan.encode_compact();
+            let back = Plan::parse_compact(&text).unwrap();
+            assert_eq!(back, plan, "round-trip of {text:?}");
+            assert_eq!(back.fingerprint(), plan.fingerprint());
+            assert_eq!(back.canonical_hash(), plan.canonical_hash());
+        }
+        assert_eq!(left_deep_3().encode_compact(), "(h (n q0 i1) q2)");
+        for bad in ["", "q", "x0", "(h q0 q1", "(z q0 q1)", "(h q0 q0)", "q0 "] {
+            assert!(Plan::parse_compact(bad).is_err(), "{bad:?} must fail");
+        }
     }
 }

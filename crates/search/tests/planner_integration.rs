@@ -13,7 +13,7 @@
 
 use balsa_card::CardEstimator;
 use balsa_cost::{CostModel, CostScorer, ExpertCostModel, OpWeights, SubtreeCost};
-use balsa_engine::{EnvError, ExecutionEnv};
+use balsa_engine::{EnvError, ExecError, ExecutionEnv};
 use balsa_query::workloads::ext_job_workload;
 use balsa_query::workloads::job_workload;
 use balsa_query::{Plan, Split, TableMask};
@@ -214,7 +214,7 @@ fn commdb_hint_space_round_trip() {
         if !p.is_left_deep() {
             assert!(matches!(
                 env.execute(q, &p, None),
-                Err(EnvError::BushyHintRejected)
+                Err(ExecError::Env(EnvError::BushyHintRejected))
             ));
             return;
         }
