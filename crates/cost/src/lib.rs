@@ -38,7 +38,8 @@ pub use cout::CoutModel;
 pub use expert::ExpertCostModel;
 pub use orders::{OrderInterner, OrderMask};
 pub use physical::{
-    join_cost, physical_cost, scan_cost, JoinPairCost, NodeCost, OpWeights, SubtreeCost,
+    clamp_cost, join_cost, physical_cost, scan_cost, JoinPairCost, NodeCost, OpWeights,
+    SubtreeCost, COST_CEILING,
 };
 pub use scorer::{CostScorer, JoinCandidate, PlanScorer, QueryScorer, ScoredTree, SubtreeExt};
 

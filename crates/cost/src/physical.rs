@@ -17,6 +17,32 @@ use balsa_card::CardEstimator;
 use balsa_query::{JoinEdge, JoinOp, Plan, Query, ScanOp, TableMask};
 use balsa_storage::Database;
 
+/// Ceiling on any cost/work value produced by the physical formulas.
+///
+/// Cardinality products can overflow `f64` toward `inf` (a 25-table
+/// worst case multiplies ~1e5-row relations 24 times), and `inf - inf`
+/// or `0 * inf` downstream silently produces NaN — which then poisons
+/// Pareto dominance: the `f64::min` fold in the DP's dominance
+/// threshold drops NaN candidates nondeterministically. Every
+/// accumulation in [`scan_cost`] / [`join_cost`] / [`JoinPairCost`]
+/// therefore clamps through [`clamp_cost`]: values at or below the
+/// ceiling pass through **bit-unchanged** (normal JOB costs are ~1e9,
+/// twenty-one orders of magnitude below), while `inf`, NaN, and
+/// anything above saturate to this finite, totally-ordered worst cost.
+/// The independent plan verifier rejects any cost above this ceiling.
+pub const COST_CEILING: f64 = 1e30;
+
+/// Saturating cost guard: identity for `x <= COST_CEILING`, otherwise
+/// (including `inf` and NaN, which fail the comparison) the ceiling.
+#[inline]
+pub fn clamp_cost(x: f64) -> f64 {
+    if x <= COST_CEILING {
+        x
+    } else {
+        COST_CEILING
+    }
+}
+
 /// Per-operator work weights. Two presets model the two engines of the
 /// paper's evaluation (§8.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,7 +168,7 @@ pub fn scan_cost(
         }
     };
     SubtreeCost {
-        work,
+        work: clamp_cost(work),
         out_rows: out,
         sorted_on,
     }
@@ -332,7 +358,9 @@ impl JoinPairCost {
                 }
             }
         };
-        (lc.work + rc.work + work, out)
+        // Checked accumulation: saturate to COST_CEILING instead of
+        // letting `inf`/NaN escape into Pareto dominance comparisons.
+        (clamp_cost(lc.work + rc.work + work), out)
     }
 }
 
@@ -565,6 +593,48 @@ mod tests {
         assert_eq!(nodes.len(), 3);
         let sum: f64 = nodes.iter().map(|n| n.work).sum();
         assert!((sum - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_clamp_saturates_and_is_identity_below_ceiling() {
+        // Identity below the ceiling — bit-for-bit.
+        for v in [0.0, 1.0, -7.5, 1e9, 1e29, COST_CEILING] {
+            assert_eq!(clamp_cost(v).to_bits(), v.to_bits(), "clamp changed {v}");
+        }
+        // Saturation for everything pathological.
+        for v in [f64::INFINITY, f64::NAN, 2e30, f64::MAX] {
+            assert_eq!(clamp_cost(v), COST_CEILING, "clamp missed {v}");
+        }
+        // The independent verifier (balsa-query, below this crate)
+        // duplicates the ceiling; keep the two constants locked.
+        assert_eq!(COST_CEILING, balsa_query::verify::VERIFY_COST_CEILING);
+    }
+
+    #[test]
+    fn poisoned_child_work_cannot_escape_as_nan() {
+        let (db, q) = fixture();
+        let w = OpWeights::postgres_like();
+        let e = est(&db);
+        let ctx = JoinPairCost::new(&db, &q, TableMask::single(0), TableMask::single(1), &e, w);
+        for poison in [f64::NAN, f64::INFINITY] {
+            let lc = SubtreeCost {
+                work: poison,
+                out_rows: 10.0,
+                sorted_on: Vec::new(),
+            };
+            let rc = SubtreeCost {
+                work: 5.0,
+                out_rows: 10.0,
+                sorted_on: Vec::new(),
+            };
+            for op in JoinOp::ALL {
+                let (work, _) = ctx.work_out(op, &lc, &rc, false);
+                assert_eq!(
+                    work, COST_CEILING,
+                    "{op:?} with poisoned child {poison} must saturate"
+                );
+            }
+        }
     }
 
     #[test]

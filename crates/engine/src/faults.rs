@@ -371,6 +371,19 @@ pub struct ResilienceStats {
     pub fallback_iterations: u64,
     /// Backoff wall-clock charged to the simulated clock, in seconds.
     pub backoff_secs_charged: f64,
+    /// Planner calls that returned a `PlanError` (disconnected graph,
+    /// or a budget exhaustion even the greedy floor could not absorb);
+    /// the query was skipped and the error surfaced, never masked.
+    pub planner_errors: u64,
+    /// Plans emitted by a degraded stage of the planner fallback chain
+    /// (`SearchStats::degraded_levels > 0`) rather than the primary
+    /// planner. Honest accounting: any nonzero value means some
+    /// reported plan is not the primary planner's answer.
+    pub planner_degraded: u64,
+    /// Plans whose search hit a `PlanBudget` boundary check
+    /// (`SearchStats::budget_exhausted`), whether or not the fallback
+    /// chain then degraded.
+    pub planner_exhausted: u64,
 }
 
 impl ResilienceStats {
@@ -386,6 +399,9 @@ impl ResilienceStats {
         self.exhausted_censored += other.exhausted_censored;
         self.fallback_iterations += other.fallback_iterations;
         self.backoff_secs_charged += other.backoff_secs_charged;
+        self.planner_errors += other.planner_errors;
+        self.planner_degraded += other.planner_degraded;
+        self.planner_exhausted += other.planner_exhausted;
     }
 
     /// Records one observed fault of `kind`.

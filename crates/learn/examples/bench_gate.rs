@@ -44,6 +44,16 @@
 //!   the leg proves nothing). Skipped with a message when no chaos
 //!   artifact exists or when it predates the resilience block — never
 //!   silently treated as passing zeros;
+//! * **budget resilience**: when the CI budget leg wrote
+//!   `BENCH_planner_budget.json` / `BENCH_learning_budget.json` (same
+//!   benchmarks re-run with a tight `BALSA_PLAN_BUDGET` armed), the
+//!   degraded plans must stay within [`BUDGET_VS_CLEAN_MAX`] of the
+//!   same run's clean artifact — executed-latency median for the DP
+//!   planner row, learned/expert held-out ratio per model for the
+//!   learning smoke — and the budget leg must actually have degraded
+//!   (zero recorded fallbacks/exhaustions means the budget never fired
+//!   and the leg proves nothing). Skipped with a message when no
+//!   budget artifact exists — never silently treated as passing;
 //! * **training speed**: the tree-conv batched fit's same-data wall
 //!   (`train_batched_secs`, measured by `bench_learning` against the
 //!   per-sample reference path on the run's own experience population)
@@ -106,6 +116,13 @@ const TRAIN_BATCHED_VS_PER_SAMPLE_MAX: f64 = 1.0;
 /// Same-run (both artifacts come from the same CI job on the same
 /// machine), so runner speed cancels.
 const CHAOS_VS_CLEAN_MAX: f64 = 1.25;
+/// Max allowed (budget-leg quality) / (clean-leg quality): the
+/// fallback chain under a deliberately tight `BALSA_PLAN_BUDGET` may
+/// degrade plans, but gracefully — the DP row's executed-latency
+/// median and each model's learned/expert held-out ratio must stay
+/// within 1.5x of the same run's unbudgeted artifacts. Same-run, so
+/// runner speed cancels.
+const BUDGET_VS_CLEAN_MAX: f64 = 1.5;
 
 /// Finds `"key": <value>` at or after `anchor` (the first occurrence of
 /// `anchor` in `text`) and parses the value token.
@@ -356,6 +373,110 @@ fn main() {
                 } else if injected_total == 0.0 {
                     failures.push(
                         "chaos gate: resilience blocks report zero injected faults — the chaos leg exercised nothing".into(),
+                    );
+                }
+            }
+        },
+    }
+
+    // ---- Budget gate ----
+    // Same-run comparison, like the chaos gate: the CI budget leg
+    // re-runs the planner benchmark and the learning smoke with a
+    // deliberately tight BALSA_PLAN_BUDGET (and the plan verifier
+    // forced on), writing *_budget.json artifacts next to the clean
+    // ones. Graceful degradation means bounded quality loss with the
+    // fallbacks honestly recorded — a budget leg with zero recorded
+    // degradations proves nothing and fails loudly.
+    match std::fs::read_to_string("BENCH_planner_budget.json") {
+        Err(_) => {
+            println!("budget: no BENCH_planner_budget.json in this run — planner budget gate skipped");
+        }
+        Ok(budgeted) => match std::fs::read_to_string("BENCH_planner.json") {
+            Err(e) => failures.push(format!(
+                "budget gate: BENCH_planner_budget.json exists but the clean BENCH_planner.json is unreadable: {e}"
+            )),
+            Ok(clean) => {
+                let dp_anchor = "\"name\": \"dp-bushy/expert\"";
+                let b = number_after(&budgeted, dp_anchor, "exec_secs_median");
+                let c = number_after(&clean, dp_anchor, "exec_secs_median");
+                match (b, c) {
+                    (Some(b), Some(c)) if c > 0.0 => {
+                        let ratio = b / c;
+                        println!(
+                            "budget[planner]: dp executed-latency median {ratio:.4}x of clean ({b:.6}s vs {c:.6}s, max {BUDGET_VS_CLEAN_MAX})"
+                        );
+                        if ratio > BUDGET_VS_CLEAN_MAX {
+                            failures.push(format!(
+                                "budget regression: dp executed-latency median degrades {ratio:.4}x under the budget > {BUDGET_VS_CLEAN_MAX}"
+                            ));
+                        }
+                    }
+                    _ => failures.push(
+                        "budget gate: dp-bushy exec_secs_median missing from planner artifacts"
+                            .into(),
+                    ),
+                }
+                let degraded =
+                    number_after(&budgeted, dp_anchor, "degraded_levels_total").unwrap_or(0.0);
+                let exhausted =
+                    number_after(&budgeted, dp_anchor, "budget_exhausted_queries").unwrap_or(0.0);
+                println!(
+                    "budget[planner]: dp row degraded_levels_total {degraded:.0}, budget_exhausted_queries {exhausted:.0}"
+                );
+                if degraded == 0.0 || exhausted == 0.0 {
+                    failures.push(
+                        "budget gate: planner budget leg recorded no degradations — the budget never fired and the leg proves nothing".into(),
+                    );
+                }
+            }
+        },
+    }
+    match std::fs::read_to_string("BENCH_learning_budget.json") {
+        Err(_) => {
+            println!("budget: no BENCH_learning_budget.json in this run — learning budget gate skipped");
+        }
+        Ok(budgeted) => match std::fs::read_to_string("BENCH_learning.json") {
+            Err(e) => failures.push(format!(
+                "budget gate: BENCH_learning_budget.json exists but the clean BENCH_learning.json is unreadable: {e}"
+            )),
+            Ok(clean) => {
+                let mut checked = 0;
+                let mut degraded_total = 0.0;
+                for model in ["linear", "tree_conv"] {
+                    let anchor = format!("\"model\": \"{model}\"");
+                    let b = number_after(&budgeted, &anchor, "final_vs_expert_ratio");
+                    let c = number_after(&clean, &anchor, "final_vs_expert_ratio");
+                    let (Some(b), Some(c)) = (b, c) else {
+                        continue;
+                    };
+                    checked += 1;
+                    degraded_total += number_after(&budgeted, &anchor, "planner_degraded")
+                        .unwrap_or(0.0)
+                        + number_after(&budgeted, &anchor, "planner_exhausted").unwrap_or(0.0);
+                    if c <= 0.0 {
+                        failures.push(format!(
+                            "budget gate: {model} clean ratio {c} is not positive — cannot form a degradation ratio"
+                        ));
+                        continue;
+                    }
+                    let rel = b / c;
+                    println!(
+                        "budget[{model}]: learned/expert ratio {b:.4} under the budget vs {c:.4} clean -> {rel:.4}x (max {BUDGET_VS_CLEAN_MAX})"
+                    );
+                    if rel > BUDGET_VS_CLEAN_MAX {
+                        failures.push(format!(
+                            "budget regression: {model} learned/expert ratio degrades {rel:.4}x under the plan budget > {BUDGET_VS_CLEAN_MAX} ({b:.4} vs {c:.4})"
+                        ));
+                    }
+                }
+                if checked == 0 {
+                    failures.push(
+                        "budget gate: budget and clean learning artifacts share no model entries"
+                            .into(),
+                    );
+                } else if degraded_total == 0.0 {
+                    failures.push(
+                        "budget gate: resilience blocks report zero planner degradations — the budget never fired and the leg proves nothing".into(),
                     );
                 }
             }

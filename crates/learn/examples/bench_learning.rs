@@ -36,7 +36,15 @@
 //!   `BENCH_learning_chaos.json` so the fault-free recording is never
 //!   overwritten, a `faults` block records the rates, and each model
 //!   entry carries a `resilience` block (faults injected, retries,
-//!   abandoned samples, fallback iterations, backoff wall charged).
+//!   abandoned samples, fallback iterations, backoff wall charged,
+//!   planner errors/degradations/budget exhaustions).
+//! * `BALSA_PLAN_BUDGET=work=<u64>,memo=<usize>` — arm a planner
+//!   resource budget on every planner the run constructs (training,
+//!   evaluation, and the expert baseline). With a budget armed the
+//!   artifact routes to `BENCH_learning_budget.json` (chaos takes
+//!   precedence when both are armed) and a `plan_budget` block records
+//!   the limits; `bench_gate`'s budget gate compares it against the
+//!   clean recording.
 //!
 //! All three env specs get the `BALSA_PLAN_THREADS` treatment: a
 //! garbled value warns loudly on stderr and falls back to the default —
@@ -51,7 +59,7 @@ use balsa_learn::{
 };
 use balsa_query::workloads::job_workload;
 use balsa_query::Split;
-use balsa_search::{SearchMode, WorkerPool};
+use balsa_search::{PlanBudget, SearchMode, WorkerPool};
 use balsa_storage::{mini_imdb, DataGenConfig, Database};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -207,8 +215,10 @@ fn run_model(
         &split.test,
         cfg.mode,
         cfg.beam_width,
+        cfg.plan_budget,
         pool,
-    );
+    )
+    .expect("connected workload must plan");
     let final_test_median = median(&final_test);
     let ratio = final_test_median / expert_test_median;
     eprintln!(
@@ -295,6 +305,10 @@ fn main() {
     // `FaultConfig::from_env` itself warns-and-runs-fault-free on a
     // garbled BALSA_FAULTS spec.
     let faults = FaultConfig::from_env();
+    // Same contract for the planner budget: garbled spec warns loudly
+    // and the run plans unbudgeted.
+    let plan_budget_env = PlanBudget::from_env();
+    let plan_budget = plan_budget_env.unwrap_or(PlanBudget::UNLIMITED);
     let scale = if smoke { 0.05 } else { 1.0 };
     let db = Arc::new(mini_imdb(DataGenConfig {
         scale,
@@ -323,12 +337,14 @@ fn main() {
             },
             planning_threads,
             training_threads,
+            plan_budget,
             ..TrainConfig::default()
         }
     } else {
         TrainConfig {
             planning_threads,
             training_threads,
+            plan_budget,
             ..TrainConfig::default()
         }
     };
@@ -344,16 +360,20 @@ fn main() {
         &w,
         &split.test,
         cfg.mode,
+        cfg.plan_budget,
         &baseline_pool,
-    );
+    )
+    .expect("connected workload must plan");
     let expert_train = evaluate_expert_baseline(
         &db,
         &baseline_env,
         &w,
         &split.train,
         cfg.mode,
+        cfg.plan_budget,
         &baseline_pool,
-    );
+    )
+    .expect("connected workload must plan");
     let expert_test_median = median(&expert_test);
     eprintln!(
         "expert baseline: test median {:.4}s over {} held-out queries",
@@ -409,6 +429,18 @@ fn main() {
         }
         None => {
             let _ = writeln!(out, "  \"faults\": null,");
+        }
+    }
+    match plan_budget_env {
+        Some(b) => {
+            let _ = writeln!(
+                out,
+                "  \"plan_budget\": {{\"work\": {}, \"memo\": {}}},",
+                b.work, b.memo
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  \"plan_budget\": null,");
         }
     }
     let _ = writeln!(out, "  \"scale\": {},", json_f(scale));
@@ -499,7 +531,7 @@ fn main() {
         let r = &run.resilience;
         let _ = writeln!(
             out,
-            "      \"resilience\": {{\"faults_injected\": {}, \"transients\": {}, \"crashes\": {}, \"spikes\": {}, \"hangs\": {}, \"retries\": {}, \"abandoned\": {}, \"exhausted_censored\": {}, \"fallback_iterations\": {}, \"backoff_secs_charged\": {}}},",
+            "      \"resilience\": {{\"faults_injected\": {}, \"transients\": {}, \"crashes\": {}, \"spikes\": {}, \"hangs\": {}, \"retries\": {}, \"abandoned\": {}, \"exhausted_censored\": {}, \"fallback_iterations\": {}, \"backoff_secs_charged\": {}, \"planner_errors\": {}, \"planner_degraded\": {}, \"planner_exhausted\": {}}},",
             r.faults_injected,
             r.transients,
             r.crashes,
@@ -509,7 +541,10 @@ fn main() {
             r.abandoned,
             r.exhausted_censored,
             r.fallback_iterations,
-            json_f(r.backoff_secs_charged)
+            json_f(r.backoff_secs_charged),
+            r.planner_errors,
+            r.planner_degraded,
+            r.planner_exhausted
         );
         out.push_str("      \"iterations\": [\n");
         for (i, it) in run.trajectory.iter().enumerate() {
@@ -554,11 +589,14 @@ fn main() {
     }
     out.push_str("  ]\n}\n");
 
-    // A chaos run must never overwrite the fault-free recording: the
-    // quality gate reads `BENCH_learning.json`, the chaos gate compares
-    // `BENCH_learning_chaos.json` against it same-run.
+    // A chaos or budget run must never overwrite the clean recording:
+    // the quality gate reads `BENCH_learning.json`, the chaos/budget
+    // gates compare their own artifacts against it same-run. Chaos
+    // takes precedence when both are armed.
     let artifact = if faults.is_some() {
         "BENCH_learning_chaos.json"
+    } else if plan_budget_env.is_some() {
+        "BENCH_learning_budget.json"
     } else {
         "BENCH_learning.json"
     };

@@ -211,7 +211,7 @@ impl CheckpointData {
         let r = &self.resilience;
         let _ = writeln!(
             s,
-            "resilience {} {} {} {} {} {} {} {} {} {}",
+            "resilience {} {} {} {} {} {} {} {} {} {} {} {} {}",
             r.faults_injected,
             r.transients,
             r.crashes,
@@ -221,7 +221,10 @@ impl CheckpointData {
             r.abandoned,
             r.exhausted_censored,
             r.fallback_iterations,
-            hx(r.backoff_secs_charged)
+            hx(r.backoff_secs_charged),
+            r.planner_errors,
+            r.planner_degraded,
+            r.planner_exhausted
         );
         let _ = writeln!(s, "end");
         s
@@ -350,7 +353,7 @@ impl CheckpointData {
         }
         let body = field(next("resilience")?, "resilience")?;
         let p: Vec<&str> = body.split(' ').collect();
-        if p.len() != 10 {
+        if p.len() != 13 {
             return Err(format!("bad resilience line {body:?}"));
         }
         let resilience = ResilienceStats {
@@ -364,6 +367,9 @@ impl CheckpointData {
             exhausted_censored: parse_u64(p[7])?,
             fallback_iterations: parse_u64(p[8])?,
             backoff_secs_charged: parse_f64(p[9])?,
+            planner_errors: parse_u64(p[10])?,
+            planner_degraded: parse_u64(p[11])?,
+            planner_exhausted: parse_u64(p[12])?,
         };
         if next("end")? != "end" {
             return Err("missing end marker".into());
@@ -459,6 +465,9 @@ mod tests {
                 exhausted_censored: 1,
                 fallback_iterations: 1,
                 backoff_secs_charged: 0.7,
+                planner_errors: 1,
+                planner_degraded: 2,
+                planner_exhausted: 2,
             },
         }
     }

@@ -47,7 +47,9 @@ use balsa_cost::{CostModel, CoutModel, ExpertCostModel};
 use balsa_engine::{query_key, ExecutionEnv, ResilienceStats, RetryPolicy, SimClock, SubtreeObs};
 use balsa_query::workloads::Workload;
 use balsa_query::{Plan, Query, Split};
-use balsa_search::{random_plan, BeamPlanner, DpPlanner, Planner, SearchMode, WorkerPool};
+use balsa_search::{
+    random_plan, BeamPlanner, DpPlanner, PlanBudget, PlanError, Planner, SearchMode, WorkerPool,
+};
 use balsa_storage::Database;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -103,6 +105,13 @@ pub struct TrainConfig {
     /// armed on the env, at most one attempt ever runs and the loop is
     /// bit-identical to a retry-free one.
     pub retry: RetryPolicy,
+    /// Resource budget armed on every planner the loop constructs —
+    /// pretraining DP, the learned training/evaluation beams, and the
+    /// expert-DP fallback. [`PlanBudget::UNLIMITED`] (the default) is
+    /// bit-identical to the historical unbudgeted loop; a finite budget
+    /// degrades exhausted searches through the fallback chain
+    /// (DP → beam → greedy), counted in [`ResilienceStats`].
+    pub plan_budget: PlanBudget,
     /// Sliding-window length (iterations) for the graceful-degradation
     /// check.
     pub fallback_window: usize,
@@ -148,6 +157,7 @@ impl Default for TrainConfig {
             planning_threads: 1,
             training_threads: 1,
             retry: RetryPolicy::default(),
+            plan_budget: PlanBudget::UNLIMITED,
             fallback_window: 3,
             fallback_threshold: f64::INFINITY,
             checkpoint_every: 0,
@@ -199,6 +209,7 @@ impl TrainConfig {
         h = mix_str(h, &format!("{:?}", self.pretrain_sgd));
         h = mix_str(h, &format!("{:?}", self.finetune_sgd));
         h = mix(h ^ self.retry.fingerprint());
+        h = mix(h ^ self.plan_budget.fingerprint());
         h = mix(h ^ env.fault_injector().map_or(0, |i| i.config().fingerprint()));
         h
     }
@@ -370,6 +381,10 @@ pub fn median(xs: &[f64]) -> f64 {
 /// indices are distinct so no execution observes another's cache
 /// entry). Executions are uncharged: evaluation must not advance any
 /// simulated clock.
+///
+/// A finite `budget` degrades exhausted searches through the fallback
+/// chain; the call errors only when some query has no plan at all
+/// ([`PlanError::DisconnectedGraph`]) — surfaced, never a panic.
 // The argument list is the full evaluation context; a config struct
 // would be rebuilt at every call site for no clarity gain.
 #[allow(clippy::too_many_arguments)]
@@ -383,47 +398,54 @@ pub fn evaluate_learned(
     idxs: &[usize],
     mode: SearchMode,
     beam_width: usize,
+    budget: PlanBudget,
     pool: &WorkerPool,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, PlanError> {
     let scorer = LearnedScorer::new(featurizer, model, est);
-    let planned = pool.map_init(
+    let planned: Vec<PlannedOrErr> = pool.map_init(
         idxs,
-        || BeamPlanner::new(db, &scorer, mode, beam_width),
-        |planner, _, &i| planner.plan(&workload.queries[i]),
+        || BeamPlanner::new(db, &scorer, mode, beam_width).with_budget(budget),
+        |planner, _, &i| planner.try_plan(&workload.queries[i]),
     );
-    pool.map(&planned, |j, out| {
+    let planned = planned.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(pool.map(&planned, |j, out| {
         eval_env
             .execute_uncharged(&workload.queries[idxs[j]], &out.plan, None)
             .expect("beam plan must be executable")
             .latency_secs
-    })
+    }))
 }
+
+type PlannedOrErr = Result<balsa_search::PlannedQuery, PlanError>;
 
 /// Executes the expert baseline — DP with the engine's expert cost model
 /// on estimated cardinalities — for `idxs` on `pool`, returning
 /// latencies (deterministic for any thread count, as in
-/// [`evaluate_learned`]).
+/// [`evaluate_learned`], and degrading identically under a finite
+/// `budget`).
 pub fn evaluate_expert_baseline(
     db: &Arc<Database>,
     eval_env: &ExecutionEnv,
     workload: &Workload,
     idxs: &[usize],
     mode: SearchMode,
+    budget: PlanBudget,
     pool: &WorkerPool,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, PlanError> {
     let est = HistogramEstimator::new(db);
     let model = ExpertCostModel::new(db.clone(), eval_env.profile().weights);
-    let planned = pool.map_init(
+    let planned: Vec<PlannedOrErr> = pool.map_init(
         idxs,
-        || DpPlanner::new(db, &model, &est, mode),
-        |planner, _, &i| planner.plan(&workload.queries[i]),
+        || DpPlanner::new(db, &model, &est, mode).with_budget(budget),
+        |planner, _, &i| planner.try_plan(&workload.queries[i]),
     );
-    pool.map(&planned, |j, out| {
+    let planned = planned.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(pool.map(&planned, |j, out| {
         eval_env
             .execute_uncharged(&workload.queries[idxs[j]], &out.plan, None)
             .expect("dp plan must be executable")
             .latency_secs
-    })
+    }))
 }
 
 /// Runs simulation pretraining followed by real-execution fine-tuning on
@@ -455,6 +477,9 @@ pub fn train_loop(
     let mut breakdown = TrainBreakdown::default();
     let pool = WorkerPool::new(cfg.planning_threads);
 
+    // Workload generators only emit connected queries, so evaluation
+    // planning cannot fail (a finite budget degrades instead of
+    // erroring); an Err here means the workload itself is malformed.
     let eval_point = |model: &dyn ValueModel| {
         let test = evaluate_learned(
             db,
@@ -466,8 +491,10 @@ pub fn train_loop(
             &split.test,
             cfg.mode,
             cfg.beam_width,
+            cfg.plan_budget,
             &pool,
-        );
+        )
+        .unwrap_or_else(|e| panic!("evaluation planning: {e}"));
         let val = evaluate_learned(
             db,
             &eval_env,
@@ -478,8 +505,10 @@ pub fn train_loop(
             &split.train,
             cfg.mode,
             cfg.beam_width,
+            cfg.plan_budget,
             &pool,
-        );
+        )
+        .unwrap_or_else(|e| panic!("evaluation planning: {e}"));
         (median(&test), median(&val), geo_mean(&val))
     };
 
@@ -592,11 +621,33 @@ pub fn train_loop(
         let mut pre = probe;
         rng = SmallRng::seed_from_u64(cfg.seed);
         let cout = CoutModel;
+        stats = ResilienceStats::default();
         let mut sim_jobs: Vec<(usize, Vec<Arc<Plan>>)> = Vec::with_capacity(split.train.len());
         for &qi in &split.train {
             let q = &workload.queries[qi];
             let memo = MemoEstimator::new(&est);
-            let dp = DpPlanner::new(db, &cout, &memo, cfg.mode).plan(q);
+            // A finite budget degrades through the fallback chain; an
+            // Err means the query has no plan at all (disconnected
+            // graph) — skip it honestly rather than crash the run. The
+            // skip happens before this query's random-plan draws, so it
+            // cannot perturb other queries' RNG consumption.
+            let dp = match DpPlanner::new(db, &cout, &memo, cfg.mode)
+                .with_budget(cfg.plan_budget)
+                .try_plan(q)
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    stats.planner_errors += 1;
+                    eprintln!("balsa: pretraining: {e}; skipping query");
+                    continue;
+                }
+            };
+            if dp.stats.degraded_levels > 0 {
+                stats.planner_degraded += 1;
+            }
+            if dp.stats.budget_exhausted {
+                stats.planner_exhausted += 1;
+            }
             env.charge_planning(dp.planning_secs);
             let mut plans = vec![dp.plan];
             for _ in 0..cfg.sim_random_plans {
@@ -673,7 +724,6 @@ pub fn train_loop(
             make_model(cfg.model, &featurizer),
         ));
         best_lat = HashMap::new();
-        stats = ResilienceStats::default();
         window = Vec::new();
         start_iter = 1;
     }
@@ -717,22 +767,48 @@ pub fn train_loop(
         // swapping the beam for the DP fallback consumes nothing from the
         // master RNG stream either way.
         let model_ref: &dyn ValueModel = &*model;
-        let planned = if use_fallback {
+        let planned_res: Vec<PlannedOrErr> = if use_fallback {
             let expert = ExpertCostModel::new(db.clone(), profile.weights);
             pool.map_init(
                 &split.train,
-                || DpPlanner::new(db, &expert, &est, cfg.mode),
-                |planner, _, &qi| planner.plan(&workload.queries[qi]),
+                || DpPlanner::new(db, &expert, &est, cfg.mode).with_budget(cfg.plan_budget),
+                |planner, _, &qi| planner.try_plan(&workload.queries[qi]),
             )
         } else {
             pool.map(&split.train, |_, &qi| {
                 let q = &workload.queries[qi];
                 let scorer = LearnedScorer::new(&featurizer, model_ref, &est);
                 BeamPlanner::new(db, &scorer, cfg.mode, cfg.beam_width)
+                    .with_budget(cfg.plan_budget)
                     .with_exploration(epsilon, cfg.seed ^ ((iter as u64) << 44))
-                    .plan(q)
+                    .try_plan(q)
             })
         };
+        // Planner errors (only possible for queries with no plan at
+        // all) drop the query from this iteration — surfaced on stderr
+        // and counted, never silently masked. `train_idx` keeps the
+        // surviving (query, plan) pairs aligned in split order.
+        let mut iter_res = ResilienceStats::default();
+        let mut train_idx: Vec<usize> = Vec::with_capacity(split.train.len());
+        let mut planned = Vec::with_capacity(split.train.len());
+        for (&qi, res) in split.train.iter().zip(planned_res) {
+            match res {
+                Ok(p) => {
+                    if p.stats.degraded_levels > 0 {
+                        iter_res.planner_degraded += 1;
+                    }
+                    if p.stats.budget_exhausted {
+                        iter_res.planner_exhausted += 1;
+                    }
+                    train_idx.push(qi);
+                    planned.push(p);
+                }
+                Err(e) => {
+                    iter_res.planner_errors += 1;
+                    eprintln!("balsa: iteration {iter}: {e}; skipping query");
+                }
+            }
+        }
         // The clock advances by the phase's parallel makespan, not the
         // serial sum — planning wall-clock is what the paper charges.
         let plan_secs: Vec<f64> = planned.iter().map(|p| p.planning_secs).collect();
@@ -747,15 +823,14 @@ pub fn train_loop(
         // batch, so any thread count observes the serial outcomes;
         // results fold back in split order and the clock is charged the
         // batch's parallel makespan once.
-        let budgets: Vec<Option<f64>> = split
-            .train
+        let budgets: Vec<Option<f64>> = train_idx
             .iter()
             .map(|qi| best_lat.get(qi).map(|b| b * cfg.timeout_factor))
             .collect();
-        let jobs: Vec<usize> = (0..split.train.len()).collect();
+        let jobs: Vec<usize> = (0..train_idx.len()).collect();
         let t_exec = Instant::now();
         let executed = exec_pool.map(&jobs, |_, &j| {
-            let q = &workload.queries[split.train[j]];
+            let q = &workload.queries[train_idx[j]];
             let t0 = Instant::now();
             let r = env
                 .execute_labeled_retry_uncharged(q, &planned[j].plan, budgets[j], &cfg.retry)
@@ -766,12 +841,11 @@ pub fn train_loop(
         if exec_pool.threads().min(jobs.len()) > 1 {
             breakdown.truecard_jobs += jobs.len();
         }
-        let mut lats = Vec::with_capacity(split.train.len());
+        let mut lats = Vec::with_capacity(train_idx.len());
         let mut timeouts = 0usize;
-        let mut charged = Vec::with_capacity(split.train.len());
-        let mut label_jobs: Vec<(usize, Vec<SubtreeObs>)> = Vec::with_capacity(split.train.len());
-        let mut iter_res = ResilienceStats::default();
-        for (&qi, (report, job_secs)) in split.train.iter().zip(executed) {
+        let mut charged = Vec::with_capacity(train_idx.len());
+        let mut label_jobs: Vec<(usize, Vec<SubtreeObs>)> = Vec::with_capacity(train_idx.len());
+        for (&qi, (report, job_secs)) in train_idx.iter().zip(executed) {
             breakdown.truecard_job_secs += job_secs;
             iter_res.merge(&report.stats);
             // Wasted attempts + the final attempt occupy this query's
@@ -799,7 +873,12 @@ pub fn train_loop(
         // overlap its own backoff). Zero, and bit-neutral, fault-free.
         env.charge_raw(iter_res.backoff_secs_charged);
         if cfg.fallback_window > 0 {
-            window.push((timeouts as f64 + iter_res.abandoned as f64) / split.train.len() as f64);
+            // Planner errors count as failures: a query that could not
+            // even plan is as failed as one that timed out.
+            window.push(
+                (timeouts as f64 + iter_res.abandoned as f64 + iter_res.planner_errors as f64)
+                    / split.train.len() as f64,
+            );
             if window.len() > cfg.fallback_window {
                 window.remove(0);
             }

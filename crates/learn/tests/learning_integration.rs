@@ -194,21 +194,90 @@ fn train_loop_smoke_end_to_end() {
         &split.test,
         cfg.mode,
         cfg.beam_width,
+        balsa_search::PlanBudget::UNLIMITED,
         &balsa_search::WorkerPool::new(1),
-    );
+    )
+    .expect("connected workload must plan");
     let expert = evaluate_expert_baseline(
         &db,
         &eval_env,
         &w,
         &split.test,
         cfg.mode,
+        balsa_search::PlanBudget::UNLIMITED,
         &balsa_search::WorkerPool::new(1),
-    );
+    )
+    .expect("connected workload must plan");
     let (ml, me) = (median(&learned), median(&expert));
     assert!(
         ml <= me * 10.0,
         "learned median {ml} catastrophically above expert {me}"
     );
+}
+
+/// Satellite of the resource-governance PR: a deliberately disconnected
+/// query surfaces [`balsa_search::PlanError::DisconnectedGraph`] as an
+/// `Err` through `evaluate_learned` — not a panic, not a silent skip.
+#[test]
+fn disconnected_query_errors_through_evaluate_learned() {
+    let db = small_db();
+    let w = job_workload(db.catalog(), 7);
+    // Strip every join edge off a real multi-table query: n >= 2 tables
+    // with no edges is the canonical disconnected join graph.
+    let mut q = w
+        .queries
+        .iter()
+        .find(|q| q.num_tables() >= 3)
+        .expect("workload has multi-table queries")
+        .clone();
+    q.joins.clear();
+    q.name = "deliberately_disconnected".into();
+    let broken = balsa_query::workloads::Workload {
+        kind: w.kind,
+        queries: vec![q],
+    };
+
+    let eval_env = ExecutionEnv::postgres_sim(db.clone());
+    let est = HistogramEstimator::new(&db);
+    let featurizer = Featurizer::new(db.clone(), eval_env.profile().weights, true);
+    let model = balsa_learn::make_model(ModelKind::Linear, &featurizer);
+    for mode in [SearchMode::Bushy, SearchMode::LeftDeep] {
+        let res = evaluate_learned(
+            &db,
+            &eval_env,
+            &featurizer,
+            &*model,
+            &est,
+            &broken,
+            &[0],
+            mode,
+            4,
+            balsa_search::PlanBudget::UNLIMITED,
+            &balsa_search::WorkerPool::new(1),
+        );
+        match res {
+            Err(balsa_search::PlanError::DisconnectedGraph { query }) => {
+                assert_eq!(query, "deliberately_disconnected");
+            }
+            other => panic!("{mode:?}: expected DisconnectedGraph, got {other:?}"),
+        }
+        let expert = evaluate_expert_baseline(
+            &db,
+            &eval_env,
+            &broken,
+            &[0],
+            mode,
+            balsa_search::PlanBudget::UNLIMITED,
+            &balsa_search::WorkerPool::new(1),
+        );
+        assert!(
+            matches!(
+                expert,
+                Err(balsa_search::PlanError::DisconnectedGraph { .. })
+            ),
+            "{mode:?}: expert baseline must surface the same error"
+        );
+    }
 }
 
 /// Censored labels distinguish the root from interior subtrees: with a
@@ -445,16 +514,20 @@ fn tree_conv_train_loop_end_to_end() {
         &split.test,
         cfg.mode,
         cfg.beam_width,
+        balsa_search::PlanBudget::UNLIMITED,
         &balsa_search::WorkerPool::new(1),
-    );
+    )
+    .expect("connected workload must plan");
     let expert = evaluate_expert_baseline(
         &db,
         &eval_env,
         &w,
         &split.test,
         cfg.mode,
+        balsa_search::PlanBudget::UNLIMITED,
         &balsa_search::WorkerPool::new(1),
-    );
+    )
+    .expect("connected workload must plan");
     let (ml, me) = (median(&learned), median(&expert));
     assert!(
         ml <= me * 10.0,

@@ -21,8 +21,10 @@
 pub mod ir;
 pub mod plan;
 pub mod sql;
+pub mod verify;
 pub mod workloads;
 
 pub use ir::{CmpOp, Filter, JoinEdge, Predicate, Query, QueryId, QueryTable, TableMask};
 pub use plan::{JoinOp, Plan, PlanShape, ScanOp, TreeTensor};
+pub use verify::{verify_plan, VerifyError};
 pub use workloads::{Split, Workload, WorkloadKind};

@@ -1,0 +1,318 @@
+//! Independent plan verifier.
+//!
+//! Re-checks a finished physical plan against the query it claims to
+//! answer, using nothing but the query IR — no planner state, no memo,
+//! no cost-model internals. Planners call [`verify_plan`] on every plan
+//! they emit (behind a debug-assertions default / `BALSA_VERIFY_PLANS`
+//! opt-in, see `balsa_search`), so a bug in enumeration, Pareto
+//! bookkeeping, or a fallback path is caught at the planner boundary
+//! instead of surfacing as a wrong result or an executor panic later.
+//!
+//! Checks performed:
+//!
+//! 1. **Coverage** — the plan scans each of the query's base tables
+//!    exactly once and nothing else (mask re-derived by walking the
+//!    tree, not trusted from the cached `Plan::mask`).
+//! 2. **Join validity** — every join's inputs are disjoint and connected
+//!    by at least one actual join-graph edge; an edge-free join is
+//!    flagged as a cross product (the search space excludes them).
+//! 3. **Order claims** — a merge join's sort keys must be re-derivable:
+//!    merge requires an equi-join edge between its inputs (the edge *is*
+//!    the sort key source), so a merge join over edge-less inputs is
+//!    rejected even before the cross-product check fires.
+//! 4. **Cost sanity** — when the caller supplies a cost it must be
+//!    finite, strictly positive, and at most the documented
+//!    `COST_CEILING` (1e30; see `balsa_cost`). Learned scorers predict
+//!    log-latencies that may legitimately be negative, so those callers
+//!    pass `None` and check finiteness themselves.
+
+use crate::ir::{Query, TableMask};
+use crate::plan::{JoinOp, Plan};
+
+use std::fmt;
+
+/// Ceiling mirrored from `balsa_cost::COST_CEILING` (the query crate
+/// sits below the cost crate, so the constant is duplicated here and
+/// asserted equal in the cost crate's tests).
+pub const VERIFY_COST_CEILING: f64 = 1e30;
+
+/// Why a plan failed verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// A base table is scanned more than once, or the scan refers to a
+    /// table index outside the query.
+    DuplicateOrUnknownTable {
+        /// Offending query-table index.
+        qt: usize,
+    },
+    /// The plan does not cover exactly the query's table set.
+    CoverageMismatch {
+        /// Tables the plan actually scans.
+        got: TableMask,
+        /// Tables the query requires.
+        want: TableMask,
+    },
+    /// A join's inputs overlap (the same table feeds both sides).
+    OverlappingJoin {
+        /// Left input's table set.
+        left: TableMask,
+        /// Right input's table set.
+        right: TableMask,
+    },
+    /// A join's inputs are not connected by any join-graph edge.
+    CrossProduct {
+        /// Left input's table set.
+        left: TableMask,
+        /// Right input's table set.
+        right: TableMask,
+        /// Physical operator of the offending join.
+        op: JoinOp,
+    },
+    /// The claimed plan cost is NaN, infinite, non-positive, or above
+    /// [`VERIFY_COST_CEILING`].
+    BadCost {
+        /// The offending cost value.
+        cost: f64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::DuplicateOrUnknownTable { qt } => {
+                write!(f, "table {qt} scanned more than once or out of range")
+            }
+            VerifyError::CoverageMismatch { got, want } => write!(
+                f,
+                "plan covers mask {:#x}, query requires {:#x}",
+                got.0, want.0
+            ),
+            VerifyError::OverlappingJoin { left, right } => write!(
+                f,
+                "join inputs overlap: left {:#x}, right {:#x}",
+                left.0, right.0
+            ),
+            VerifyError::CrossProduct { left, right, op } => write!(
+                f,
+                "{op:?} join over edge-less inputs (cross product): left {:#x}, right {:#x}",
+                left.0, right.0
+            ),
+            VerifyError::BadCost { cost } => {
+                write!(f, "plan cost {cost} is not finite, positive, and <= 1e30")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies `plan` against `query`. `cost` is checked when supplied
+/// (model-cost planners pass `Some`; learned scorers whose scores are
+/// log-latencies pass `None`).
+pub fn verify_plan(query: &Query, plan: &Plan, cost: Option<f64>) -> Result<(), VerifyError> {
+    let n = query.num_tables();
+    // Pass 1: scan leaves — duplicates, out-of-range indices, coverage.
+    // Table-level errors take precedence over join-level ones so a
+    // rogue scan is reported as such, not as a cross product one level
+    // up.
+    let mut seen = TableMask::EMPTY;
+    let mut err: Option<VerifyError> = None;
+    plan.visit(&mut |node| {
+        if err.is_some() {
+            return;
+        }
+        if let Plan::Scan { qt, .. } = node {
+            let qt = *qt as usize;
+            if qt >= n || seen.contains(qt) {
+                err = Some(VerifyError::DuplicateOrUnknownTable { qt });
+            } else {
+                seen = seen.union(TableMask::single(qt));
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let want = query.all_mask();
+    if seen != want {
+        return Err(VerifyError::CoverageMismatch { got: seen, want });
+    }
+    // Pass 2: join nodes — disjointness and edge-backed connectivity.
+    plan.visit(&mut |node| {
+        if err.is_some() {
+            return;
+        }
+        if let Plan::Join {
+            op, left, right, ..
+        } = node
+        {
+            let (l, r) = (derive_mask(left), derive_mask(right));
+            if !l.disjoint(r) {
+                err = Some(VerifyError::OverlappingJoin { left: l, right: r });
+            } else if !query.connected(l, r) {
+                // Covers both the cross-product flag and the merge
+                // order-claim check: a merge join's sort keys come
+                // from an equi-join edge between its inputs, so no
+                // edge means the order claim is not re-derivable.
+                err = Some(VerifyError::CrossProduct {
+                    left: l,
+                    right: r,
+                    op: *op,
+                });
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if let Some(c) = cost {
+        if !c.is_finite() || c <= 0.0 || c > VERIFY_COST_CEILING {
+            return Err(VerifyError::BadCost { cost: c });
+        }
+    }
+    Ok(())
+}
+
+/// Re-derives a subtree's table mask by walking it (never trusts the
+/// cached `Plan::mask`, which is exactly the thing a planner bug could
+/// corrupt).
+fn derive_mask(plan: &Plan) -> TableMask {
+    let mut m = TableMask::EMPTY;
+    plan.visit(&mut |node| {
+        if let Plan::Scan { qt, .. } = node {
+            m = m.union(TableMask::single(*qt as usize));
+        }
+    });
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, Filter, JoinEdge, Predicate, QueryTable};
+    use crate::plan::ScanOp;
+
+    fn three_table_query() -> Query {
+        // 0 — 1 — 2 chain.
+        Query {
+            id: 0,
+            name: "verify_chain".into(),
+            template: 0,
+            tables: (0..3)
+                .map(|i| QueryTable {
+                    table: i,
+                    alias: format!("t{i}"),
+                })
+                .collect(),
+            joins: vec![
+                JoinEdge {
+                    left_qt: 0,
+                    left_col: 0,
+                    right_qt: 1,
+                    right_col: 0,
+                },
+                JoinEdge {
+                    left_qt: 1,
+                    left_col: 1,
+                    right_qt: 2,
+                    right_col: 0,
+                },
+            ],
+            filters: vec![Filter {
+                qt: 0,
+                col: 1,
+                pred: Predicate::Cmp(CmpOp::Le, 10),
+            }],
+        }
+    }
+
+    #[test]
+    fn accepts_valid_left_deep_plan() {
+        let q = three_table_query();
+        let p = Plan::join(
+            JoinOp::Hash,
+            Plan::join(
+                JoinOp::Merge,
+                Plan::scan(0, ScanOp::Seq),
+                Plan::scan(1, ScanOp::Seq),
+            ),
+            Plan::scan(2, ScanOp::Index),
+        );
+        assert_eq!(verify_plan(&q, &p, Some(123.4)), Ok(()));
+    }
+
+    #[test]
+    fn rejects_missing_and_duplicate_tables() {
+        let q = three_table_query();
+        // Missing table 2.
+        let partial = Plan::join(
+            JoinOp::Hash,
+            Plan::scan(0, ScanOp::Seq),
+            Plan::scan(1, ScanOp::Seq),
+        );
+        assert!(matches!(
+            verify_plan(&q, &partial, None),
+            Err(VerifyError::CoverageMismatch { .. })
+        ));
+        // Table index out of range.
+        let rogue = Plan::join(
+            JoinOp::Hash,
+            Plan::join(
+                JoinOp::Hash,
+                Plan::scan(0, ScanOp::Seq),
+                Plan::scan(1, ScanOp::Seq),
+            ),
+            Plan::scan(7, ScanOp::Seq),
+        );
+        assert!(matches!(
+            verify_plan(&q, &rogue, None),
+            Err(VerifyError::DuplicateOrUnknownTable { qt: 7 })
+        ));
+    }
+
+    #[test]
+    fn rejects_cross_product_join() {
+        let q = three_table_query();
+        // 0 and 2 share no edge: joining them first is a cross product.
+        let p = Plan::join(
+            JoinOp::Hash,
+            Plan::join(
+                JoinOp::Merge,
+                Plan::scan(0, ScanOp::Seq),
+                Plan::scan(2, ScanOp::Seq),
+            ),
+            Plan::scan(1, ScanOp::Seq),
+        );
+        assert!(matches!(
+            verify_plan(&q, &p, None),
+            Err(VerifyError::CrossProduct {
+                op: JoinOp::Merge,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_costs() {
+        let q = three_table_query();
+        let p = Plan::join(
+            JoinOp::Hash,
+            Plan::join(
+                JoinOp::Hash,
+                Plan::scan(0, ScanOp::Seq),
+                Plan::scan(1, ScanOp::Seq),
+            ),
+            Plan::scan(2, ScanOp::Seq),
+        );
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.0, 2e30] {
+            assert!(
+                matches!(
+                    verify_plan(&q, &p, Some(bad)),
+                    Err(VerifyError::BadCost { .. })
+                ),
+                "cost {bad} should be rejected"
+            );
+        }
+        assert_eq!(verify_plan(&q, &p, Some(1e29)), Ok(()));
+    }
+}

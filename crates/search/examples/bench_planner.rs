@@ -23,6 +23,17 @@
 //! (JSON written by hand — the serde shim does not serialize; see
 //! vendor/README.md).
 //!
+//! **Resource governance:** when `BALSA_PLAN_BUDGET`
+//! (`work=<u64>,memo=<usize>`) is set, every planner runs under that
+//! [`PlanBudget`] and the report lands in `BENCH_planner_budget.json`
+//! instead, so a budgeted run never overwrites the clean baseline.
+//! Each planner row always carries `degraded_levels_total` (summed
+//! fallback depth across queries), `budget_exhausted_queries` (queries
+//! whose search hit a budget boundary), and `verify_secs_total` (time
+//! in the independent plan verifier; `null` when the verifier is off —
+//! release builds without `BALSA_VERIFY_PLANS=1`). The top-level
+//! `plan_budget` field echoes the armed budget, or `null`.
+//!
 //! When the pool is parallel, an extra `dp-par-bushy/expert` row runs
 //! the DP with **intra-query** parallelism (outer query loop serial,
 //! each query's heavy DP levels fanned across the pool) — bit-identical
@@ -39,7 +50,9 @@ use balsa_card::HistogramEstimator;
 use balsa_cost::{CostScorer, ExpertCostModel, OpWeights};
 use balsa_engine::ExecutionEnv;
 use balsa_query::workloads::job_workload;
-use balsa_search::{BeamPlanner, DpPlanner, Planner, SearchMode, SubmaskDpPlanner, WorkerPool};
+use balsa_search::{
+    BeamPlanner, DpPlanner, PlanBudget, Planner, SearchMode, SubmaskDpPlanner, WorkerPool,
+};
 use balsa_storage::{mini_imdb, DataGenConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -76,6 +89,13 @@ struct PlannerReport {
     /// for rows whose outer pool is serial but planning is internally
     /// parallel.
     speedup_override: Option<f64>,
+    /// Summed fallback-chain depth across queries (0 = no query
+    /// degraded; each degraded query adds its chain depth).
+    degraded_levels: usize,
+    /// Queries whose search hit a `PlanBudget` boundary check.
+    budget_exhausted: usize,
+    /// Time spent in the independent plan verifier (0.0 when off).
+    verify_secs: f64,
 }
 
 fn median(sorted: &[f64]) -> f64 {
@@ -149,6 +169,9 @@ fn run_planner<'a>(
         },
         threads: pool.threads(),
         speedup_override: None,
+        degraded_levels: 0,
+        budget_exhausted: 0,
+        verify_secs: 0.0,
     };
     let plan_times: Vec<f64> = planned.iter().map(|p| p.planning_secs).collect();
     env.charge_planning_parallel(&plan_times, pool.threads());
@@ -168,6 +191,9 @@ fn run_planner<'a>(
         rep.score_secs += out.stats.score_secs;
         rep.dedup_secs += out.stats.dedup_secs;
         rep.parallel_items += out.stats.parallel_items;
+        rep.degraded_levels += out.stats.degraded_levels;
+        rep.budget_exhausted += usize::from(out.stats.budget_exhausted);
+        rep.verify_secs += out.stats.verify_secs;
     }
     rep.sim_clock_secs = env.elapsed_secs();
     eprintln!(
@@ -196,6 +222,17 @@ fn main() {
     let model = ExpertCostModel::new(db.clone(), OpWeights::postgres_like());
     let scorer = CostScorer::new(&model, &est);
     let pool = WorkerPool::from_env();
+    // Resource governance: an armed `BALSA_PLAN_BUDGET` puts every
+    // planner under the budget (fallback chain active) and routes the
+    // report to a separate artifact so the clean baseline survives.
+    let budget_env = PlanBudget::from_env();
+    let budget = budget_env.unwrap_or(PlanBudget::UNLIMITED);
+    if let Some(b) = budget_env {
+        eprintln!(
+            "bench_planner: BALSA_PLAN_BUDGET armed (work={}, memo={})",
+            b.work, b.memo
+        );
+    }
 
     // Dispatch-overhead probe: mean wall time of one trivial pool
     // dispatch — persistent workers woken, a no-op task run, the job
@@ -219,7 +256,7 @@ fn main() {
 
     // DP first: its costs are the per-query baselines.
     reports.push(run_planner(&db, &w, &pool, &|| {
-        Box::new(DpPlanner::new(&db, &model, &est, SearchMode::Bushy))
+        Box::new(DpPlanner::new(&db, &model, &est, SearchMode::Bushy).with_budget(budget))
     }));
     let dp_costs = reports[0].costs.clone();
 
@@ -233,7 +270,11 @@ fn main() {
     let dp_par = (pool.threads() > 1).then(|| {
         let outer = WorkerPool::new(1);
         let mut rep = run_planner(&db, &w, &outer, &|| {
-            Box::new(DpPlanner::new(&db, &model, &est, SearchMode::Bushy).with_pool(pool.clone()))
+            Box::new(
+                DpPlanner::new(&db, &model, &est, SearchMode::Bushy)
+                    .with_budget(budget)
+                    .with_pool(pool.clone()),
+            )
         });
         rep.name = rep.name.replacen("dp-", "dp-par-", 1);
         rep.threads = pool.threads();
@@ -243,12 +284,12 @@ fn main() {
     // The retired submask-scan DP rides along as the regression
     // yardstick: same plans, 3^n enumeration.
     reports.push(run_planner(&db, &w, &pool, &|| {
-        Box::new(SubmaskDpPlanner::new(&db, &model, &est, SearchMode::Bushy))
+        Box::new(SubmaskDpPlanner::new(&db, &model, &est, SearchMode::Bushy).with_budget(budget))
     }));
 
     for &k in &widths {
         reports.push(run_planner(&db, &w, &pool, &|| {
-            Box::new(BeamPlanner::new(&db, &scorer, SearchMode::Bushy, k))
+            Box::new(BeamPlanner::new(&db, &scorer, SearchMode::Bushy, k).with_budget(budget))
         }));
     }
 
@@ -271,6 +312,14 @@ fn main() {
     let _ = writeln!(out, "  \"workload\": \"job_like\",");
     let _ = writeln!(out, "  \"num_queries\": {},", w.queries.len());
     let _ = writeln!(out, "  \"planning_threads\": {},", pool.threads());
+    let _ = writeln!(
+        out,
+        "  \"plan_budget\": {},",
+        match budget_env {
+            Some(b) => format!("{{\"work\": {}, \"memo\": {}}}", b.work, b.memo),
+            None => "null".into(),
+        }
+    );
     let _ = writeln!(
         out,
         "  \"pool_dispatch_secs\": {},",
@@ -366,6 +415,21 @@ fn main() {
         );
         let _ = writeln!(
             out,
+            "      \"degraded_levels_total\": {},",
+            rep.degraded_levels
+        );
+        let _ = writeln!(
+            out,
+            "      \"budget_exhausted_queries\": {},",
+            rep.budget_exhausted
+        );
+        let _ = writeln!(
+            out,
+            "      \"verify_secs_total\": {},",
+            json_phase(rep.verify_secs)
+        );
+        let _ = writeln!(
+            out,
             "      \"exec_secs_total\": {},",
             json_f(rep.exec_secs.iter().sum())
         );
@@ -402,10 +466,15 @@ fn main() {
     }
     out.push_str("  ]\n}\n");
 
-    std::fs::write("BENCH_planner.json", &out).expect("write BENCH_planner.json");
+    let artifact = if budget_env.is_some() {
+        "BENCH_planner_budget.json"
+    } else {
+        "BENCH_planner.json"
+    };
+    std::fs::write(artifact, &out).unwrap_or_else(|e| panic!("write {artifact}: {e}"));
     println!("{out}");
     eprintln!(
-        "wrote BENCH_planner.json in {:.1}s",
+        "wrote {artifact} in {:.1}s",
         t_total.elapsed().as_secs_f64()
     );
 }

@@ -47,10 +47,12 @@
 //! 3. *Assemble + select* (serial): surviving states are materialized,
 //!    sorted, epsilon-filled, and truncated to the beam width.
 
+use crate::budget::verify_emitted;
 use crate::candidates::CandidateSpace;
+use crate::greedy::GreedyLeftDeepPlanner;
 use crate::pool::WorkerPool;
 use crate::scratch::SharedScratch;
-use crate::{PlannedQuery, Planner, SearchMode, SearchStats};
+use crate::{PlanBudget, PlanError, PlannedQuery, Planner, SearchMode, SearchStats};
 use balsa_cost::{JoinCandidate, PlanScorer, ScoredTree};
 use balsa_query::{Plan, Query};
 use balsa_storage::Database;
@@ -163,6 +165,7 @@ pub struct BeamPlanner<'a> {
     width: usize,
     exploration: Option<Exploration>,
     pool: WorkerPool,
+    budget: PlanBudget,
     scratch: SharedScratch<BeamScratch>,
 }
 
@@ -184,8 +187,21 @@ impl<'a> BeamPlanner<'a> {
             width,
             exploration: None,
             pool: WorkerPool::new(1),
+            budget: PlanBudget::UNLIMITED,
             scratch: SharedScratch::new(),
         }
+    }
+
+    /// Arms a [`PlanBudget`]. Work (candidates generated) and memo
+    /// (dedup-surviving states) are checked once per level, between the
+    /// dedup and scoring phases — both counters come from the serial
+    /// generate phase, so the decision is bit-reproducible and
+    /// independent of pool width. The exploration RNG stream is
+    /// untouched: budget checks are pure comparisons, and an exhausted
+    /// level aborts before the slot-filling step that consumes it.
+    pub fn with_budget(mut self, budget: PlanBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Spreads each level's candidate scoring across `pool`
@@ -233,10 +249,40 @@ impl Planner for BeamPlanner<'_> {
         format!("beam{}-{}/{}{}", self.width, shape, self.scorer.name(), eps)
     }
 
-    fn plan(&self, query: &Query) -> PlannedQuery {
+    fn try_plan(&self, query: &Query) -> Result<PlannedQuery, PlanError> {
+        let t0 = Instant::now();
+        match self.try_plan_raw(query) {
+            Ok(p) => Ok(p),
+            Err(PlanError::BudgetExhausted { .. }) => {
+                // Degrade to the always-terminating greedy floor,
+                // scoring through the same scorer — honest fallback
+                // depth 1 of the chain.
+                let greedy = GreedyLeftDeepPlanner::new(self.db, self.scorer, self.mode);
+                let mut p = greedy.try_plan(query)?;
+                p.stats.degraded_levels = 1;
+                p.stats.budget_exhausted = true;
+                p.planning_secs = t0.elapsed().as_secs_f64();
+                Ok(p)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl BeamPlanner<'_> {
+    /// The raw, chain-free beam procedure: surfaces
+    /// [`PlanError::BudgetExhausted`] instead of degrading to greedy
+    /// ([`Planner::try_plan`] does that). This is also fallback level 1
+    /// of the DP planners' chain, which re-arms it with the full
+    /// budget.
+    pub fn try_plan_raw(&self, query: &Query) -> Result<PlannedQuery, PlanError> {
         let start = Instant::now();
         let n = query.num_tables();
-        assert!(n >= 1, "query has no tables");
+        if n == 0 {
+            return Err(PlanError::DisconnectedGraph {
+                query: query.name.clone(),
+            });
+        }
         let space = CandidateSpace::new(self.db, query, self.mode);
         let session = self.scorer.for_query(query);
         let mut stats = SearchStats::default();
@@ -289,9 +335,19 @@ impl Planner for BeamPlanner<'_> {
             let mut pending: Vec<Pending<'_>> = Vec::new();
             for (si, state) in beam.iter().enumerate() {
                 let m = state.trees.len();
+                // In left-deep mode two composite trees can never merge
+                // (the right join input must be a scan), so a forest
+                // with two chains is a dead end no plan can complete.
+                // Once a chain exists, only moves that extend it are
+                // generated; starting a second chain would strand the
+                // state — and a beam full of stranded states would
+                // misreport a connected graph as disconnected.
+                let has_chain = self.mode == SearchMode::LeftDeep
+                    && state.trees.iter().any(|t| !t.plan.is_scan());
                 for i in 0..m {
                     for j in 0..m {
                         if i == j
+                            || (has_chain && state.trees[i].plan.is_scan())
                             || !query
                                 .connected(state.trees[i].plan.mask(), state.trees[j].plan.mask())
                         {
@@ -331,6 +387,17 @@ impl Planner for BeamPlanner<'_> {
             }
             stats.dedup_secs += t_gen.elapsed().as_secs_f64();
 
+            // Budget boundary: candidates generated (work) and dedup
+            // survivors (memo) both come from the serial generate
+            // phase, so the check is bit-reproducible for any pool
+            // width — and it runs before scoring *and* before the
+            // slot-filling step, leaving the exploration RNG stream
+            // untouched on the abort path.
+            if !self.budget.is_unlimited() {
+                self.budget
+                    .check("beam", query, stats.candidates as u64, pending.len())?;
+            }
+
             // Phase 2: score all survivors — one batched call per
             // work-stolen span, every result published at its input
             // index (bit-identical for any thread count and steal
@@ -367,11 +434,13 @@ impl Planner for BeamPlanner<'_> {
             // for the ≤ `width` states that enter the next level, not
             // for every survivor.
             let t_asm = Instant::now();
-            assert!(
-                !pending.is_empty(),
-                "beam stuck on {} (disconnected join graph?)",
-                query.name
-            );
+            if pending.is_empty() {
+                // No connected pair of trees remains to join: the join
+                // graph is disconnected.
+                return Err(PlanError::DisconnectedGraph {
+                    query: query.name.clone(),
+                });
+            }
             let totals: Vec<f64> = pending
                 .iter()
                 .zip(&scored)
@@ -432,12 +501,16 @@ impl Planner for BeamPlanner<'_> {
         let best = &beam[0];
         assert_eq!(best.trees.len(), 1, "beam must end with a single tree");
         let tree = &best.trees[0];
-        PlannedQuery {
+        let mut planned = PlannedQuery {
             plan: tree.plan.clone(),
             cost: tree.st.score,
             stats,
             planning_secs: start.elapsed().as_secs_f64(),
-        }
+        };
+        // Scorer scores may be learned log-latencies (legitimately
+        // negative), so only the structural checks run here.
+        verify_emitted(&self.name(), query, &mut planned, None);
+        Ok(planned)
     }
 }
 

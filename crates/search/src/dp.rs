@@ -34,13 +34,19 @@
 //! connected-subgraph/complement pairs, [`SearchMode::LeftDeep`] only
 //! splits off single tables (CommDbSim, §8.2).
 
+use crate::beam::BeamPlanner;
+use crate::budget::verify_emitted;
 use crate::candidates::CandidateSpace;
 use crate::enumerate::JoinGraph;
+use crate::greedy::GreedyLeftDeepPlanner;
 use crate::pool::WorkerPool;
 use crate::scratch::SharedScratch;
-use crate::{MemoEstimator, PlannedQuery, Planner, SearchMode, SearchStats};
+use crate::{
+    MemoEstimator, PlanBudget, PlanError, PlannedQuery, Planner, SearchMode, SearchStats,
+    FALLBACK_BEAM_WIDTH,
+};
 use balsa_card::CardEstimator;
-use balsa_cost::{CostModel, OrderInterner, OrderMask, OrderSource, SubtreeCost};
+use balsa_cost::{CostModel, CostScorer, OrderInterner, OrderMask, OrderSource, SubtreeCost};
 use balsa_query::{Plan, Query, ScanOp, TableMask};
 use balsa_storage::Database;
 use std::collections::{BTreeSet, HashMap};
@@ -219,13 +225,46 @@ fn order_universe(db: &Database, query: &Query) -> Vec<(usize, usize)> {
     universe.into_iter().collect()
 }
 
-/// Picks the cheapest entry of a full-mask Pareto set.
-fn best_of<'e>(entries: &'e ParetoSet, query: &Query) -> &'e Entry {
+/// Picks the cheapest entry of a full-mask Pareto set (`None` when the
+/// set is empty — a disconnected join graph).
+fn best_of(entries: &ParetoSet) -> Option<&Entry> {
     entries
         .entries
         .iter()
         .min_by(|a, b| a.sc.work.partial_cmp(&b.sc.work).expect("finite costs"))
-        .unwrap_or_else(|| panic!("no plan for {} (disconnected join graph?)", query.name))
+}
+
+/// Degrades a budget-exhausted DP call through the rest of the fallback
+/// chain: width-[`FALLBACK_BEAM_WIDTH`] beam search first, then the
+/// always-terminating greedy floor. Every stage is re-armed with the
+/// full budget, scores through a [`CostScorer`] over the same cost
+/// model + estimator, and records its fallback depth honestly in
+/// [`SearchStats::degraded_levels`].
+fn fallback_chain(
+    db: &Database,
+    cost: &dyn CostModel,
+    est: &dyn CardEstimator,
+    mode: SearchMode,
+    budget: PlanBudget,
+    query: &Query,
+) -> Result<PlannedQuery, PlanError> {
+    let scorer = CostScorer::new(cost, est);
+    let beam = BeamPlanner::new(db, &scorer, mode, FALLBACK_BEAM_WIDTH).with_budget(budget);
+    match beam.try_plan_raw(query) {
+        Ok(mut p) => {
+            p.stats.degraded_levels = 1;
+            p.stats.budget_exhausted = true;
+            Ok(p)
+        }
+        Err(PlanError::BudgetExhausted { .. }) => {
+            let greedy = GreedyLeftDeepPlanner::new(db, &scorer, mode);
+            let mut p = greedy.try_plan(query)?;
+            p.stats.degraded_levels = 2;
+            p.stats.budget_exhausted = true;
+            Ok(p)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -311,6 +350,7 @@ pub struct DpPlanner<'a> {
     mode: SearchMode,
     pool: WorkerPool,
     par_cutoff: usize,
+    budget: PlanBudget,
     scratch: SharedScratch<DpScratch>,
 }
 
@@ -329,8 +369,20 @@ impl<'a> DpPlanner<'a> {
             mode,
             pool: WorkerPool::new(1),
             par_cutoff: DEFAULT_PAR_CUTOFF,
+            budget: PlanBudget::UNLIMITED,
             scratch: SharedScratch::new(),
         }
+    }
+
+    /// Arms a [`PlanBudget`]. Checks happen only at deterministic level
+    /// boundaries on thread-invariant counters (candidates + pairs,
+    /// live Pareto entries), so whether — and where — the budget fires
+    /// is bit-reproducible and independent of thread count. The default
+    /// [`PlanBudget::UNLIMITED`] is bit-identical to not checking at
+    /// all.
+    pub fn with_budget(mut self, budget: PlanBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Runs each sufficiently heavy DP level's csg–cmp costing across
@@ -357,7 +409,23 @@ impl<'a> DpPlanner<'a> {
 
     /// Plans `query` and additionally returns the full-mask Pareto
     /// frontier in canonical form (for cross-enumerator equality tests).
+    ///
+    /// # Panics
+    /// Panics on any [`PlanError`]; adversarial callers use
+    /// [`DpPlanner::try_plan_with_frontier`].
     pub fn plan_with_frontier(&self, query: &Query) -> (PlannedQuery, Vec<FrontierEntry>) {
+        self.try_plan_with_frontier(query)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name()))
+    }
+
+    /// The raw, chain-free entry point: plans `query` with the frontier
+    /// attached, surfacing [`PlanError::BudgetExhausted`] instead of
+    /// degrading through the fallback chain ([`Planner::try_plan`] does
+    /// that).
+    pub fn try_plan_with_frontier(
+        &self,
+        query: &Query,
+    ) -> Result<(PlannedQuery, Vec<FrontierEntry>), PlanError> {
         self.run(query, true)
     }
 
@@ -368,10 +436,18 @@ impl<'a> DpPlanner<'a> {
         self.pool.threads() > 1 && est_ops.sum::<usize>() >= self.par_cutoff
     }
 
-    fn run(&self, query: &Query, want_frontier: bool) -> (PlannedQuery, Vec<FrontierEntry>) {
+    fn run(
+        &self,
+        query: &Query,
+        want_frontier: bool,
+    ) -> Result<(PlannedQuery, Vec<FrontierEntry>), PlanError> {
         let start = Instant::now();
         let n = query.num_tables();
-        assert!(n >= 1, "query has no tables");
+        if n == 0 {
+            return Err(PlanError::DisconnectedGraph {
+                query: query.name.clone(),
+            });
+        }
         // The interner packs order sets into 128 bits. A query whose
         // order universe could overflow that (≥ 22 tables of ≥ 6
         // indexed/edge columns each) routes to the BTreeSet-based
@@ -383,7 +459,8 @@ impl<'a> DpPlanner<'a> {
         let universe = order_universe(self.db, query);
         if universe.len() > 128 {
             return SubmaskDpPlanner::new(self.db, self.cost, self.est, self.mode)
-                .plan_with_frontier(query);
+                .with_budget(self.budget)
+                .try_plan_with_frontier(query);
         }
         let space = CandidateSpace::new(self.db, query, self.mode);
         let memo = MemoEstimator::new(self.est);
@@ -426,6 +503,20 @@ impl<'a> DpPlanner<'a> {
         // ---- Costing phase ----
         let t_cost = Instant::now();
 
+        // Budget boundary check: thread-invariant work (candidates +
+        // pairs; `cost_calls` deliberately excluded — it depends on how
+        // a level was partitioned) against live Pareto entries,
+        // evaluated only *between* levels, never inside one, so
+        // parallel and serial sweeps make bit-identical decisions.
+        let check_budget = |s: &DpScratch, stats: &SearchStats| -> Result<(), PlanError> {
+            if self.budget.is_unlimited() {
+                return Ok(());
+            }
+            let live = s.entries[..s.used].iter().map(ParetoSet::len).sum();
+            self.budget
+                .check("dp", query, (stats.candidates + stats.pairs) as u64, live)
+        };
+
         // Base case: scan candidates per table.
         for qt in 0..n {
             let slot = s.slot(1u32 << qt);
@@ -460,6 +551,7 @@ impl<'a> DpPlanner<'a> {
         // shared-target sweep), so they may *cost* more candidates, but
         // never admit or order them differently; only `cost_calls`
         // reflects the partitioning.
+        check_budget(s, &stats)?;
         for size in 2..=n {
             match self.mode {
                 SearchMode::Bushy => {
@@ -633,18 +725,19 @@ impl<'a> DpPlanner<'a> {
                     s.csg_buckets[size] = bucket;
                 }
             }
+            check_budget(s, &stats)?;
         }
         stats.cost_secs = t_cost.elapsed().as_secs_f64();
 
         stats.states = s.entries[..s.used].iter().map(ParetoSet::len).sum();
         let full = TableMask::all(n).0;
-        let full_slot = *s
-            .slot_of
-            .get(&full)
-            .unwrap_or_else(|| panic!("no plan for {} (disconnected join graph?)", query.name));
+        let disconnected = || PlanError::DisconnectedGraph {
+            query: query.name.clone(),
+        };
+        let full_slot = *s.slot_of.get(&full).ok_or_else(disconnected)?;
         let full_entries = &s.entries[full_slot as usize];
-        let best = best_of(full_entries, query);
-        let planned = PlannedQuery {
+        let best = best_of(full_entries).ok_or_else(disconnected)?;
+        let mut planned = PlannedQuery {
             plan: best.plan.clone(),
             cost: best.sc.work,
             stats,
@@ -660,7 +753,13 @@ impl<'a> DpPlanner<'a> {
         } else {
             Vec::new()
         };
-        (planned, frontier)
+        drop(guard);
+        // DP costs are real model costs (not scorer log-latencies), so
+        // the verifier also checks the reported cost is finite,
+        // positive, and under the clamp ceiling.
+        let cost = planned.cost;
+        verify_emitted(&self.name(), query, &mut planned, Some(cost));
+        Ok((planned, frontier))
     }
 }
 
@@ -808,8 +907,20 @@ impl Planner for DpPlanner<'_> {
         }
     }
 
-    fn plan(&self, query: &Query) -> PlannedQuery {
-        self.run(query, false).0
+    fn try_plan(&self, query: &Query) -> Result<PlannedQuery, PlanError> {
+        let t0 = Instant::now();
+        match self.run(query, false) {
+            Ok((planned, _)) => Ok(planned),
+            Err(PlanError::BudgetExhausted { .. }) => {
+                let mut p =
+                    fallback_chain(self.db, self.cost, self.est, self.mode, self.budget, query)?;
+                // The chain's wall clock includes the exhausted DP
+                // attempt — honest accounting for SimClock charging.
+                p.planning_secs = t0.elapsed().as_secs_f64();
+                Ok(p)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -850,6 +961,7 @@ pub struct SubmaskDpPlanner<'a> {
     cost: &'a dyn CostModel,
     est: &'a dyn CardEstimator,
     mode: SearchMode,
+    budget: PlanBudget,
 }
 
 impl<'a> SubmaskDpPlanner<'a> {
@@ -865,14 +977,42 @@ impl<'a> SubmaskDpPlanner<'a> {
             cost,
             est,
             mode,
+            budget: PlanBudget::UNLIMITED,
         }
     }
 
+    /// Arms a [`PlanBudget`], checked after each finalized mask (this
+    /// enumerator is serial, so every mask end is a deterministic
+    /// boundary).
+    pub fn with_budget(mut self, budget: PlanBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Plans `query` and returns the canonical full-mask Pareto frontier.
+    ///
+    /// # Panics
+    /// Panics on any [`PlanError`]; adversarial callers use
+    /// [`SubmaskDpPlanner::try_plan_with_frontier`].
     pub fn plan_with_frontier(&self, query: &Query) -> (PlannedQuery, Vec<FrontierEntry>) {
+        self.try_plan_with_frontier(query)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name()))
+    }
+
+    /// The raw, chain-free entry point: surfaces
+    /// [`PlanError::BudgetExhausted`] instead of degrading through the
+    /// fallback chain.
+    pub fn try_plan_with_frontier(
+        &self,
+        query: &Query,
+    ) -> Result<(PlannedQuery, Vec<FrontierEntry>), PlanError> {
         let start = Instant::now();
         let n = query.num_tables();
-        assert!(n >= 1, "query has no tables");
+        if n == 0 {
+            return Err(PlanError::DisconnectedGraph {
+                query: query.name.clone(),
+            });
+        }
         let space = CandidateSpace::new(self.db, query, self.mode);
         let memo = MemoEstimator::new(self.est);
         let connected = space.connected_table();
@@ -898,6 +1038,25 @@ impl<'a> SubmaskDpPlanner<'a> {
                 );
             }
         }
+
+        // Budget discipline: the same thread-invariant work measure as
+        // the DPccp planner (candidates + pairs), checked after each
+        // finalized mask; `memo_live` tracks live Pareto entries
+        // exactly (each mask's set is finalized once, in ascending
+        // order) without rescanning the 2^n table per check.
+        let check = |stats: &SearchStats, memo_live: usize| -> Result<(), PlanError> {
+            if self.budget.is_unlimited() {
+                return Ok(());
+            }
+            self.budget.check(
+                "submask-dp",
+                query,
+                (stats.candidates + stats.pairs) as u64,
+                memo_live,
+            )
+        };
+        let mut memo_live: usize = (0..n).map(|qt| table[1usize << qt].len()).sum();
+        check(&stats, memo_live)?;
 
         // Bottom-up over subsets (ascending mask order visits every
         // proper submask before its superset).
@@ -945,6 +1104,8 @@ impl<'a> SubmaskDpPlanner<'a> {
                     }
                 }
             }
+            memo_live += table[mask].len();
+            check(&stats, memo_live)?;
         }
 
         stats.states = table.iter().map(Vec::len).sum();
@@ -952,8 +1113,10 @@ impl<'a> SubmaskDpPlanner<'a> {
         let best = table[full]
             .iter()
             .min_by(|a, b| a.sc.work.partial_cmp(&b.sc.work).expect("finite costs"))
-            .unwrap_or_else(|| panic!("no plan for {} (disconnected join graph?)", query.name));
-        let planned = PlannedQuery {
+            .ok_or_else(|| PlanError::DisconnectedGraph {
+                query: query.name.clone(),
+            })?;
+        let mut planned = PlannedQuery {
             plan: best.plan.clone(),
             cost: best.sc.work,
             stats,
@@ -964,7 +1127,9 @@ impl<'a> SubmaskDpPlanner<'a> {
                 .iter()
                 .map(|e| (e.sc.work, e.sc.sorted_on.clone())),
         );
-        (planned, frontier)
+        let cost = planned.cost;
+        verify_emitted(&self.name(), query, &mut planned, Some(cost));
+        Ok((planned, frontier))
     }
 }
 
@@ -976,8 +1141,18 @@ impl Planner for SubmaskDpPlanner<'_> {
         }
     }
 
-    fn plan(&self, query: &Query) -> PlannedQuery {
-        self.plan_with_frontier(query).0
+    fn try_plan(&self, query: &Query) -> Result<PlannedQuery, PlanError> {
+        let t0 = Instant::now();
+        match self.try_plan_with_frontier(query) {
+            Ok((planned, _)) => Ok(planned),
+            Err(PlanError::BudgetExhausted { .. }) => {
+                let mut p =
+                    fallback_chain(self.db, self.cost, self.est, self.mode, self.budget, query)?;
+                p.planning_secs = t0.elapsed().as_secs_f64();
+                Ok(p)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 

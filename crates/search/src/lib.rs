@@ -28,19 +28,23 @@
 //! (CommDbSim's ~1000x smaller hint space, §8.2).
 
 pub mod beam;
+pub mod budget;
 pub mod candidates;
 pub mod dp;
 pub mod enumerate;
+pub mod greedy;
 pub mod pool;
 pub mod random;
 pub mod scratch;
 
 pub use beam::BeamPlanner;
+pub use budget::{verify_plans_enabled, PlanBudget, PlanError, FALLBACK_BEAM_WIDTH};
 pub use candidates::CandidateSpace;
 pub use dp::{DpPlanner, FrontierEntry, SubmaskDpPlanner};
 pub use enumerate::JoinGraph;
+pub use greedy::GreedyLeftDeepPlanner;
 pub use pool::{parallel_speedup, WorkerPool};
-pub use random::{random_plan, RandomPlanner};
+pub use random::{random_plan, try_random_plan, RandomPlanner};
 pub use scratch::{ScratchGuard, SharedScratch};
 
 // Moved to `balsa-card` so the scoring layer (`balsa_cost::PlanScorer`)
@@ -123,6 +127,21 @@ pub struct SearchStats {
     /// `cost_calls` it is deterministic for a fixed thread count but
     /// excluded from the parallel-vs-serial bit-identity contract.
     pub parallel_items: usize,
+    /// How many fallback steps the budget chain took to produce this
+    /// plan: 0 = the primary planner answered, 1 = degraded one level
+    /// (DP → beam, or beam → greedy), 2 = degraded twice (DP → beam →
+    /// greedy). Never silent: any nonzero value means the emitted plan
+    /// is *not* the primary planner's answer.
+    pub degraded_levels: usize,
+    /// Whether any stage of this call hit its [`PlanBudget`] boundary
+    /// check (true whenever `degraded_levels > 0`, and also when a raw
+    /// chain-free entry point surfaced the exhaustion as an error).
+    pub budget_exhausted: bool,
+    /// Seconds spent in the independent plan verifier
+    /// (`balsa_query::verify`) on the emitted plan; 0.0 when
+    /// verification is disabled. Reporting-only — never feeds back
+    /// into search decisions.
+    pub verify_secs: f64,
 }
 
 /// A planner's answer for one query.
@@ -144,13 +163,28 @@ pub trait Planner {
     /// Planner name for reports, e.g. `"dp-bushy"` or `"beam10-leftdeep"`.
     fn name(&self) -> String;
 
-    /// Plans `query`.
+    /// Plans `query`, degrading through the planner's fallback chain
+    /// when a [`PlanBudget`] is armed (recorded in
+    /// [`SearchStats::degraded_levels`], never silent). Errors only
+    /// when no plan exists at all — a disconnected join graph — or
+    /// when even the chain's greedy floor cannot answer.
+    fn try_plan(&self, query: &Query) -> Result<PlannedQuery, PlanError>;
+
+    /// Plans `query`, panicking on [`PlanError`].
+    ///
+    /// The convenience entry point for validated workloads (the
+    /// generators only produce connected queries, and budget
+    /// exhaustion degrades instead of erroring); callers handling
+    /// adversarial input use [`Planner::try_plan`].
     ///
     /// # Panics
-    /// Panics if the query's join graph is disconnected or has more
-    /// tables than the search supports (the workload generators only
-    /// produce valid queries).
-    fn plan(&self, query: &Query) -> PlannedQuery;
+    /// Panics if [`Planner::try_plan`] returns an error.
+    fn plan(&self, query: &Query) -> PlannedQuery {
+        match self.try_plan(query) {
+            Ok(p) => p,
+            Err(e) => panic!("{}: {e}", self.name()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,8 +7,9 @@
 //! a random plan is always *valid* (connected joins only, mode-legal
 //! shape) but its join order and operators are arbitrary.
 
+use crate::budget::verify_emitted;
 use crate::candidates::CandidateSpace;
-use crate::{PlannedQuery, Planner, SearchMode, SearchStats};
+use crate::{PlanError, PlannedQuery, Planner, SearchMode, SearchStats};
 use balsa_card::CardEstimator;
 use balsa_cost::CostModel;
 use balsa_query::{JoinOp, Plan, Query, TableMask};
@@ -20,19 +21,42 @@ use std::time::Instant;
 
 /// Samples one uniformly random valid plan for `query`.
 ///
-/// In [`SearchMode::Bushy`] the sampler repeatedly merges two random
-/// connected trees; in [`SearchMode::LeftDeep`] it grows a single chain
-/// from a random starting table (the only shape that cannot get stuck,
-/// and the only one the mode admits).
+/// # Panics
+/// Panics on a disconnected join graph; adversarial callers use
+/// [`try_random_plan`].
 pub fn random_plan(
     db: &Database,
     query: &Query,
     mode: SearchMode,
     rng: &mut SmallRng,
 ) -> Arc<Plan> {
+    try_random_plan(db, query, mode, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Samples one uniformly random valid plan for `query`, or
+/// [`PlanError::DisconnectedGraph`] when the sampler gets stuck with no
+/// connected pair left to merge.
+///
+/// In [`SearchMode::Bushy`] the sampler repeatedly merges two random
+/// connected trees; in [`SearchMode::LeftDeep`] it grows a single chain
+/// from a random starting table (the only shape that cannot get stuck
+/// on a connected graph, and the only one the mode admits). On
+/// connected queries the RNG stream consumed is identical to what
+/// [`random_plan`] always drew — the stuck checks run before any draw.
+pub fn try_random_plan(
+    db: &Database,
+    query: &Query,
+    mode: SearchMode,
+    rng: &mut SmallRng,
+) -> Result<Arc<Plan>, PlanError> {
     let space = CandidateSpace::new(db, query, mode);
     let n = query.num_tables();
-    assert!(n >= 1, "query has no tables");
+    let disconnected = || PlanError::DisconnectedGraph {
+        query: query.name.clone(),
+    };
+    if n == 0 {
+        return Err(disconnected());
+    }
     let random_scan = |qt: usize, rng: &mut SmallRng| {
         let scans = space.scan_plans(qt);
         scans[rng.random_range(0..scans.len())].clone()
@@ -51,6 +75,9 @@ pub fn random_plan(
                         }
                     }
                 }
+                if pairs.is_empty() {
+                    return Err(disconnected());
+                }
                 let (i, j) = pairs[rng.random_range(0..pairs.len())];
                 let joined = Plan::join(random_op(rng), trees[i].clone(), trees[j].clone());
                 let (hi, lo) = (i.max(j), i.min(j));
@@ -58,7 +85,7 @@ pub fn random_plan(
                 trees.swap_remove(lo);
                 trees.push(joined);
             }
-            trees.pop().expect("one tree remains")
+            Ok(trees.pop().expect("one tree remains"))
         }
         SearchMode::LeftDeep => {
             let start = rng.random_range(0..n);
@@ -70,11 +97,14 @@ pub fn random_plan(
                     .copied()
                     .filter(|&t| query.connected(plan.mask(), TableMask::single(t)))
                     .collect();
+                if joinable.is_empty() {
+                    return Err(disconnected());
+                }
                 let t = joinable[rng.random_range(0..joinable.len())];
                 remaining.retain(|&x| x != t);
                 plan = Plan::join(random_op(rng), plan, random_scan(t, rng));
             }
-            plan
+            Ok(plan)
         }
     }
 }
@@ -113,12 +143,12 @@ impl Planner for RandomPlanner<'_> {
         format!("random/{}", self.cost.name())
     }
 
-    fn plan(&self, query: &Query) -> PlannedQuery {
+    fn try_plan(&self, query: &Query) -> Result<PlannedQuery, PlanError> {
         let start = Instant::now();
         let mut rng = SmallRng::seed_from_u64(self.seed ^ ((query.id as u64) << 17));
-        let plan = random_plan(self.db, query, self.mode, &mut rng);
+        let plan = try_random_plan(self.db, query, self.mode, &mut rng)?;
         let cost = self.cost.plan_cost(query, &plan, self.est);
-        PlannedQuery {
+        let mut planned = PlannedQuery {
             plan,
             cost,
             stats: SearchStats {
@@ -128,7 +158,12 @@ impl Planner for RandomPlanner<'_> {
                 ..SearchStats::default()
             },
             planning_secs: start.elapsed().as_secs_f64(),
-        }
+        };
+        // Random plans are structurally valid by construction; the
+        // verifier re-derives that independently. Costs of random plans
+        // can be astronomically bad, so the cost check is skipped.
+        verify_emitted(&self.name(), query, &mut planned, None);
+        Ok(planned)
     }
 }
 
